@@ -1,0 +1,59 @@
+//! Cache and coherence microbenchmarks: L1/L2 access throughput and
+//! directory transaction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microbank_cpu::cache::Cache;
+use microbank_cpu::coherence::Directory;
+use std::hint::black_box;
+
+fn addr_stream(n: usize, span: u64) -> Vec<u64> {
+    let mut state = 0xABCDEFu64;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (state >> 10) % span & !63
+        })
+        .collect()
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_access");
+    for (name, bytes, assoc, span) in [
+        ("l1_hits", 16 * 1024usize, 4usize, 8 * 1024u64),
+        ("l1_thrash", 16 * 1024, 4, 1 << 24),
+        ("l2_hits", 2 * 1024 * 1024, 16, 1 << 20),
+    ] {
+        let addrs = addr_stream(4096, span);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &addrs, |b, addrs| {
+            b.iter(|| {
+                let mut cache = Cache::new(bytes, assoc);
+                for &a in addrs {
+                    black_box(cache.access(a, a & 128 != 0));
+                }
+                cache.hits
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_directory(c: &mut Criterion) {
+    let addrs = addr_stream(4096, 1 << 22);
+    c.bench_function("directory_read_write_mix", |b| {
+        b.iter(|| {
+            let mut d = Directory::new();
+            for (i, &a) in addrs.iter().enumerate() {
+                let cluster = i % 16;
+                if i % 4 == 0 {
+                    black_box(d.write_miss(a, cluster));
+                } else {
+                    black_box(d.read_miss(a, cluster));
+                }
+            }
+            d.tracked_lines()
+        })
+    });
+}
+
+criterion_group!(benches, bench_cache, bench_directory);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Memory-controller microbenchmarks: sustained request throughput under
+//! FR-FCFS vs PAR-BS, and queue-scan cost at full occupancy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microbank_core::config::MemConfig;
+use microbank_core::request::{MemRequest, ReqKind};
+use microbank_ctrl::controller::{Completion, MemoryController};
+use microbank_ctrl::policy::PolicyKind;
+use microbank_ctrl::scheduler::SchedulerKind;
+use std::hint::black_box;
+
+fn drive(sched: SchedulerKind, reqs: u64) -> u64 {
+    let cfg = MemConfig::lpddr_tsi().with_ubanks(4, 4).with_channels(1).with_refresh(false);
+    let mut c = MemoryController::new(&cfg, sched, PolicyKind::Open, 8);
+    let mut done: Vec<Completion> = Vec::new();
+    let mut issued = 0u64;
+    let mut completed = 0u64;
+    let mut now = 0u64;
+    // Pseudo-random deterministic address stream over 8 threads.
+    let mut state = 0x12345678u64;
+    while completed < reqs {
+        while issued < reqs && c.free_slots() > 0 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let addr = (state >> 16) % (1 << 28) & !63;
+            let mut r = MemRequest::new(issued, addr, ReqKind::Read, (issued % 8) as u16, now);
+            r.loc = c.map().decode(addr);
+            c.enqueue(r, now);
+            issued += 1;
+        }
+        c.tick(now);
+        done.clear();
+        c.take_completions(&mut done);
+        completed += done.len() as u64;
+        now += 4;
+    }
+    now
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("controller_throughput");
+    g.sample_size(20);
+    for (name, sched) in [
+        ("fr-fcfs", SchedulerKind::FrFcfs),
+        ("par-bs", SchedulerKind::ParBs { marking_cap: 5 }),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &sched, |b, &s| {
+            b.iter(|| drive(black_box(s), 400))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

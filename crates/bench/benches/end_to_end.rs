@@ -1,0 +1,41 @@
+//! End-to-end simulator benchmarks: wall-clock cost of a short full-system
+//! run (64 cores + controllers + μbank DRAM) on representative workloads
+//! and configurations. These are the macro-benchmarks gating experiment
+//! turnaround time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microbank_sim::simulator::{run, SimConfig};
+use microbank_workloads::suite::Workload;
+use std::hint::black_box;
+
+fn short(cfg: SimConfig) -> SimConfig {
+    let mut c = cfg;
+    c.warmup_cycles = 5_000;
+    c.measure_cycles = 20_000;
+    c
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    let cases = [
+        ("mcf_1x1", {
+            short(SimConfig::spec_single_channel(Workload::Spec("429.mcf")))
+        }),
+        ("mcf_8x8", {
+            let mut c = short(SimConfig::spec_single_channel(Workload::Spec("429.mcf")));
+            c.mem = c.mem.with_ubanks(8, 8);
+            c
+        }),
+        ("tpch_16ch", short(SimConfig::paper_default(Workload::TpcH))),
+    ];
+    for (name, cfg) in cases {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(run(cfg)).committed)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Page-management predictor microbenchmarks: prediction + update
+//! throughput of the bimodal, global, and tournament schemes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microbank_ctrl::predictor::{
+    GlobalPredictor, LocalPredictor, PageDecision, TournamentPredictor,
+};
+use std::hint::black_box;
+
+fn outcomes(n: usize) -> Vec<(usize, u16, PageDecision)> {
+    let mut state = 0xDEADBEEFu64;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let bank = ((state >> 8) % 512) as usize;
+            let thread = ((state >> 20) % 64) as u16;
+            let d = if state >> 33 & 1 == 0 { PageDecision::KeepOpen } else { PageDecision::Close };
+            (bank, thread, d)
+        })
+        .collect()
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let data = outcomes(4096);
+    let mut g = c.benchmark_group("predictor_update");
+    g.bench_with_input(BenchmarkId::from_parameter("local"), &data, |b, data| {
+        b.iter(|| {
+            let mut p = LocalPredictor::new(512);
+            for &(bank, _, o) in data {
+                let pred = p.predict(bank);
+                p.update(bank, pred, black_box(o));
+            }
+            p.stats.predictions
+        })
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("global"), &data, |b, data| {
+        b.iter(|| {
+            let mut p = GlobalPredictor::new(64);
+            for &(_, t, o) in data {
+                let pred = p.predict(t);
+                p.update(t, pred, black_box(o));
+            }
+            p.stats.predictions
+        })
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("tournament"), &data, |b, data| {
+        b.iter(|| {
+            let mut p = TournamentPredictor::new(512, 64);
+            for &(bank, t, o) in data {
+                let pred = p.predict(bank, t);
+                p.update(bank, t, pred, black_box(o));
+            }
+            p.stats.predictions
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Workload-generator microbenchmarks: instruction-stream production rates
+//! for the pointer-chasing, streaming, and database profiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microbank_cpu::instr::InstrSource;
+use microbank_workloads::spec::by_name;
+use microbank_workloads::suite::tpc_h;
+use microbank_workloads::synth::SynthSource;
+use std::hint::black_box;
+
+fn bench_sources(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_gen");
+    let profiles = [
+        by_name("429.mcf").unwrap(),
+        by_name("462.libquantum").unwrap(),
+        tpc_h(),
+    ];
+    for p in profiles {
+        g.bench_with_input(BenchmarkId::from_parameter(p.name), &p, |b, p| {
+            b.iter(|| {
+                let mut s = SynthSource::new(*p, 7, 0, 64 << 20, 1 << 30, 1 << 24);
+                let mut acc = 0u64;
+                for _ in 0..8192 {
+                    if let microbank_cpu::instr::Instr::Mem { addr, .. } = s.next_instr() {
+                        acc ^= black_box(addr);
+                    }
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sources);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 1: per-bit energy breakdown (pJ/b) of the conventional PCB-based,
+//! TSI-based, and μbank-based memory systems — the paper's motivating
+//! figure. Buckets: Core (DRAM background), ACT/PRE, RD/WR, I/O.
+
+use microbank_energy::breakdown::figure1;
+
+fn main() {
+    println!("Fig. 1: energy breakdown (pJ/b)");
+    println!("{:<16}{:>8}{:>10}{:>8}{:>8}{:>9}", "system", "Core", "ACT/PRE", "RD/WR", "I/O", "total");
+    for (kind, b) in figure1() {
+        println!(
+            "{:<16}{:>8.1}{:>10.1}{:>8.1}{:>8.1}{:>9.1}",
+            kind.label(),
+            b.core_pj_b,
+            b.act_pre_pj_b,
+            b.rdwr_pj_b,
+            b.io_pj_b,
+            b.total()
+        );
+    }
+    println!();
+    println!("(β = 1 traffic at 30% channel utilization; TSI+ubanks uses (nW,nB)=(8,2))");
+}

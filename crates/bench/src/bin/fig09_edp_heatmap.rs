@@ -1,0 +1,22 @@
+//! Fig. 9: relative 1/EDP of 429.mcf, the spec-high average, and TPC-H
+//! over the full (nW, nB) μbank grid (higher is better), normalized to the
+//! unpartitioned baseline.
+//!
+//! Usage: `fig09_edp_heatmap [--quick]`
+
+use microbank_bench::format_matrix;
+use microbank_sim::experiment::ubank_grid;
+use microbank_workloads::spec::SpecGroup;
+use microbank_workloads::suite::Workload;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for (tag, w) in [
+        ("(a) 429.mcf", Workload::Spec("429.mcf")),
+        ("(b) spec-high", Workload::SpecGroupAvg(SpecGroup::High)),
+        ("(c) TPC-H", Workload::TpcH),
+    ] {
+        let g = ubank_grid(w, quick);
+        println!("{}", format_matrix(&format!("Fig. 9{tag}: relative 1/EDP"), &g.rel_inv_edp));
+    }
+}

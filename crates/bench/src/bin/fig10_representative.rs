@@ -1,0 +1,42 @@
+//! Fig. 10: relative IPC, relative 1/EDP, and power breakdown of the
+//! <3%-area-overhead μbank configurations (1,1), (2,8), (4,4), (8,2) on
+//! single-threaded, multiprogrammed, and multithreaded workloads.
+//!
+//! Usage: `fig10_representative [--quick]`
+
+use microbank_sim::experiment::representative_study;
+use microbank_workloads::spec::SpecGroup;
+use microbank_workloads::suite::Workload;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let workloads = [
+        Workload::Spec("429.mcf"),
+        Workload::Spec("450.soplex"),
+        Workload::SpecGroupAvg(SpecGroup::High),
+        Workload::SpecAll,
+        Workload::MixHigh,
+        Workload::MixBlend,
+        Workload::Radix,
+        Workload::Fft,
+    ];
+    let rows = representative_study(&workloads, quick);
+    println!(
+        "{:<12}{:>7}{:>9}{:>9} | {:>9}{:>9}{:>9}{:>8}{:>7}  (power, W)",
+        "workload", "(nW,nB)", "relIPC", "rel1/EDP", "proc", "ACT/PRE", "static", "RD/WR", "I/O"
+    );
+    for r in rows {
+        println!(
+            "{:<12}{:>7}{:>9.3}{:>9.3} | {:>9.2}{:>9.2}{:>9.2}{:>8.2}{:>7.2}",
+            r.workload,
+            format!("({},{})", r.ubank.0, r.ubank.1),
+            r.rel_ipc,
+            r.rel_inv_edp,
+            r.power_w[0],
+            r.power_w[1],
+            r.power_w[2],
+            r.power_w[3],
+            r.power_w[4],
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Fig. 11: the address-interleaving schemes — the bit-level layout the
+//! mapper assigns for (nW, nB) = (2, 8) at cache-line granularity (iB = 6)
+//! and at DRAM-row granularity (iB = 12, the maximum for nW = 2).
+
+use microbank_core::address::AddressMap;
+use microbank_core::config::MemConfig;
+
+fn print_layout(ib: u32) {
+    let cfg = MemConfig::lpddr_tsi().with_ubanks(2, 8).with_interleave_base(ib);
+    let map = AddressMap::new(&cfg);
+    println!("iB = {} (effective {}):", ib, map.interleave_base);
+    for f in map.layout().iter().rev() {
+        println!(
+            "  bits {:>2}..{:>2}  {}",
+            f.lsb,
+            f.lsb + f.width - 1,
+            f.name
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("Fig. 11: address interleaving for (nW, nB) = (2, 8)");
+    println!("====================================================");
+    println!("cache-line-granularity interleaving:");
+    print_layout(6);
+    println!("DRAM-row-granularity interleaving:");
+    print_layout(12);
+}

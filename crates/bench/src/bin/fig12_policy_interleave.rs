@@ -1,0 +1,36 @@
+//! Fig. 12: relative IPC and 1/EDP as the page-management policy (open vs
+//! close) and the interleaving base bit iB vary over the representative
+//! μbank configurations, for spec-all and spec-high. Baseline:
+//! (1,1)/open/iB=13.
+//!
+//! Usage: `fig12_policy_interleave [--quick]`
+
+use microbank_ctrl::policy::PolicyKind;
+use microbank_sim::experiment::interleave_policy_study;
+use microbank_workloads::spec::SpecGroup;
+use microbank_workloads::suite::Workload;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let workloads = [Workload::SpecAll, Workload::SpecGroupAvg(SpecGroup::High)];
+    let rows = interleave_policy_study(&workloads, quick);
+    println!(
+        "{:<12}{:>8}{:>5}{:>4}{:>10}{:>10}",
+        "workload", "(nW,nB)", "iB", "pol", "relIPC", "rel1/EDP"
+    );
+    for r in rows {
+        println!(
+            "{:<12}{:>8}{:>5}{:>4}{:>10.3}{:>10.3}",
+            r.workload,
+            format!("({},{})", r.ubank.0, r.ubank.1),
+            r.interleave_base,
+            match r.policy {
+                PolicyKind::Open => "O",
+                PolicyKind::Close => "C",
+                _ => "?",
+            },
+            r.rel_ipc,
+            r.rel_inv_edp,
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Fig. 13: relative IPC and prediction hit rate of the page-management
+//! schemes — close (C), open (O), local bimodal (L), tournament (T), and
+//! the perfect oracle (P) — across workloads and μbank configurations.
+//! IPC is normalized to open at (1,1) per workload.
+//!
+//! Usage: `fig13_predictors [--quick]`
+
+use microbank_sim::experiment::predictor_study;
+use microbank_workloads::spec::SpecGroup;
+use microbank_workloads::suite::Workload;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let workloads = [
+        Workload::Spec("471.omnetpp"),
+        Workload::Spec("429.mcf"),
+        Workload::SpecGroupAvg(SpecGroup::High),
+        Workload::Canneal,
+        Workload::Radix,
+        Workload::MixHigh,
+        Workload::MixBlend,
+    ];
+    let configs = [(1, 1), (2, 8), (4, 4)];
+    let rows = predictor_study(&workloads, &configs, quick);
+    println!(
+        "{:<14}{:>8}{:>4}{:>10}{:>10}",
+        "workload", "(nW,nB)", "pol", "relIPC", "hit-rate"
+    );
+    for r in rows {
+        println!(
+            "{:<14}{:>8}{:>4}{:>10.3}{:>10.3}",
+            r.workload,
+            format!("({},{})", r.ubank.0, r.ubank.1),
+            r.policy.mnemonic(),
+            r.rel_ipc,
+            r.hit_rate,
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Fig. 14: IPC, power breakdown, and relative 1/EDP of the three
+//! processor–memory interfaces — DDR3-PCB, DDR3-TSI, LPDDR-TSI — without
+//! μbanks, across multiprogrammed and multithreaded workloads.
+//!
+//! Usage: `fig14_interfaces [--quick]`
+
+use microbank_sim::experiment::interface_study;
+use microbank_workloads::spec::SpecGroup;
+use microbank_workloads::suite::Workload;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let workloads = [
+        Workload::MixHigh,
+        Workload::MixBlend,
+        Workload::Canneal,
+        Workload::Fft,
+        Workload::Radix,
+        Workload::SpecGroupAvg(SpecGroup::High),
+    ];
+    let rows = interface_study(&workloads, quick);
+    println!(
+        "{:<12}{:<11}{:>7}{:>8}{:>9} | {:>8}{:>9}{:>8}{:>7}{:>7}  {:>9}",
+        "workload", "interface", "IPC", "relIPC", "rel1/EDP", "proc", "ACT/PRE", "static", "RD/WR", "I/O", "AP-frac"
+    );
+    for r in rows {
+        println!(
+            "{:<12}{:<11}{:>7.2}{:>8.3}{:>9.3} | {:>8.2}{:>9.2}{:>8.2}{:>7.2}{:>7.2}  {:>8.1}%",
+            r.workload,
+            r.interface.name(),
+            r.ipc,
+            r.rel_ipc,
+            r.rel_inv_edp,
+            r.power_w[0],
+            r.power_w[1],
+            r.power_w[2],
+            r.power_w[3],
+            r.power_w[4],
+            100.0 * r.act_pre_fraction,
+        );
+    }
+}

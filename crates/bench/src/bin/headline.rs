@@ -1,0 +1,18 @@
+//! §I / §VI headline numbers: the μbank LPDDR-TSI system vs the DDR3-PCB
+//! baseline on the memory-intensive spec-high applications. The paper
+//! reports 1.62× IPC and 4.80× energy-delay product.
+//!
+//! Usage: `headline [--quick]`
+
+use microbank_sim::experiment::headline;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (ipc_ratio, edp_ratio, base, ub) = headline(quick);
+    println!("Headline (spec-high average):");
+    println!("  baseline  DDR3-PCB (1,1):    IPC {:.3}  MAPKI {:.1}", base.ipc, base.mapki);
+    println!("  proposed  LPDDR-TSI (4,4):   IPC {:.3}  MAPKI {:.1}", ub.ipc, ub.mapki);
+    println!();
+    println!("  IPC improvement:   {ipc_ratio:.2}x   (paper: 1.62x)");
+    println!("  1/EDP improvement: {edp_ratio:.2}x   (paper: 4.80x)");
+}

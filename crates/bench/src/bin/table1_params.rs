@@ -1,0 +1,39 @@
+//! Table I: DRAM energy and timing parameters. These are model *inputs*
+//! (taken from the paper); the harness prints them for the record so every
+//! downstream figure is traceable to its parameter set.
+
+use microbank_core::config::Interface;
+use microbank_energy::params::EnergyParams;
+
+fn main() {
+    println!("Table I: DRAM energy and timing parameters");
+    println!("------------------------------------------");
+    println!("Energy parameters:");
+    for i in [Interface::Ddr3Pcb, Interface::Ddr3Tsi, Interface::LpddrTsi] {
+        let e = EnergyParams::for_interface(i);
+        println!(
+            "  {:<10}  I/O {:>5.1} pJ/b   RD/WR {:>5.1} pJ/b   static {:>6.1} mW/ch",
+            i.name(),
+            e.io_pj_per_bit,
+            e.rdwr_pj_per_bit,
+            e.static_mw_per_channel
+        );
+    }
+    let e = EnergyParams::lpddr_tsi();
+    println!("  ACT+PRE energy (8KB DRAM page): {:.0} nJ", e.act_pre_nj_8kb);
+    println!();
+    println!("Timing parameters:");
+    for i in [Interface::Ddr3Pcb, Interface::LpddrTsi] {
+        let t = i.timing_params();
+        println!(
+            "  {:<10}  tRCD {:>4.1} ns  tAA {:>4.1} ns  tRAS {:>4.1} ns  tRP {:>4.1} ns  tRC {:>4.1} ns  burst {:>3.1} ns",
+            i.name(),
+            t.t_rcd_ns,
+            t.t_aa_ns,
+            t.t_ras_ns,
+            t.t_rp_ns,
+            t.t_rc_ns(),
+            t.t_burst_ns,
+        );
+    }
+}

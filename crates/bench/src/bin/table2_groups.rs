@@ -1,0 +1,16 @@
+//! Table II: the SPEC CPU2006 applications grouped by main-memory accesses
+//! per kilo-instruction (MAPKI), plus each profile's nominal MAPKI in our
+//! synthetic catalog.
+
+use microbank_workloads::spec::{group, SpecGroup};
+
+fn main() {
+    println!("Table II: SPEC CPU2006 MAPKI groups");
+    println!("-----------------------------------");
+    for g in [SpecGroup::High, SpecGroup::Med, SpecGroup::Low] {
+        println!("{}:", g.label());
+        for p in group(g) {
+            println!("  {:<16} nominal MAPKI {:>6.1}", p.name, p.nominal_mapki());
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! A small logarithmic-bucket histogram for latency and occupancy
+//! distributions. The paper reports means; percentile tails (p95/p99) are
+//! where queueing pathologies show first, so the simulator tracks them too.
+
+use serde::{Deserialize, Serialize};
+
+/// Log₂-bucketed histogram of `u64` samples. Bucket `i` covers
+/// `[2^i, 2^(i+1))` (bucket 0 covers {0, 1}).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram { buckets: vec![0; 64], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.max(1).leading_zeros() - 1) as usize
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate percentile (upper bound of the bucket containing the
+    /// p-th sample). `p` in [0, 1].
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return (1u64 << (i + 1)).saturating_sub(1).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty `(bucket_low, count)` pairs, for report printing.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (1u64 << i, n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn mean_min_max_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 20.0);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 30);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn percentile_bounds_the_samples() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        // Log buckets: p50 within a factor of 2 of the true median.
+        assert!((500..=1023).contains(&p50), "{p50}");
+        assert!(p99 >= p50);
+        assert!(p99 <= h.max());
+    }
+
+    #[test]
+    fn bucket_of_zero_and_powers() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(1024);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 1024);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 500);
+        assert_eq!(a.nonzero_buckets().len(), 2);
+    }
+}

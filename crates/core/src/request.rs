@@ -1,0 +1,72 @@
+//! The memory-request record exchanged between the CPU model, the memory
+//! controller, and the DRAM device model.
+
+use crate::address::Location;
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Read or write, as seen by the main memory (a writeback or a line fill).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReqKind {
+    Read,
+    Write,
+}
+
+impl ReqKind {
+    pub fn is_write(&self) -> bool {
+        matches!(self, ReqKind::Write)
+    }
+}
+
+/// One main-memory request for a 64 B cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Unique id assigned by the issuer; echoed in the completion callback.
+    pub id: u64,
+    /// Physical byte address (line-aligned by the mapper).
+    pub addr: u64,
+    pub kind: ReqKind,
+    /// Issuing hardware thread / core, used by PAR-BS batching and the
+    /// global page predictor.
+    pub thread: u16,
+    /// Cycle the request entered the controller queue.
+    pub arrival: Cycle,
+    /// Decoded DRAM coordinates (filled by the controller on enqueue).
+    pub loc: Location,
+}
+
+impl MemRequest {
+    pub fn new(id: u64, addr: u64, kind: ReqKind, thread: u16, arrival: Cycle) -> Self {
+        MemRequest {
+            id,
+            addr,
+            kind,
+            thread,
+            arrival,
+            loc: Location { channel: 0, rank: 0, bank: 0, w: 0, b: 0, row: 0, col: 0 },
+        }
+    }
+
+    pub fn is_write(&self) -> bool {
+        self.kind.is_write()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_construction() {
+        let r = MemRequest::new(7, 0x1000, ReqKind::Write, 3, 42);
+        assert!(r.is_write());
+        assert_eq!(r.thread, 3);
+        assert_eq!(r.arrival, 42);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(!ReqKind::Read.is_write());
+        assert!(ReqKind::Write.is_write());
+    }
+}

@@ -1,0 +1,278 @@
+//! Directory-based MESI coherence among the per-cluster L2 slices.
+//!
+//! The paper's platform keeps a reverse directory at each memory controller
+//! (§VI-A). We model one logical directory (the sim routes lookups to the
+//! line's home controller for latency purposes): per line, either nobody
+//! caches it, a set of clusters share it clean, or exactly one cluster owns
+//! it modified. The directory tells the requesting L2 where data comes from
+//! (memory or a remote L2) and which caches to invalidate — the invariants
+//! of MESI at the inter-L2 granularity our CMP model resolves.
+
+use std::collections::HashMap;
+
+/// Directory state for one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    Uncached,
+    /// Clean copies in the clusters of the sharer bitmap.
+    Shared,
+    /// Exactly one cluster holds a dirty copy.
+    Modified,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DirEntry {
+    state: LineState,
+    /// Bitmap over clusters (≤ 64).
+    sharers: u64,
+}
+
+/// Where the requester gets its data, as decided by the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherenceAction {
+    /// Nobody else caches it (or only clean copies far away): main memory.
+    FetchFromMemory,
+    /// Cache-to-cache transfer from `owner`'s L2. `demote_writeback` is
+    /// true when a modified owner is demoted to shared and its dirty data
+    /// must also be written back to memory.
+    ForwardFromOwner { owner: usize, demote_writeback: bool },
+}
+
+/// Clusters whose copies must be invalidated before a write proceeds.
+pub type Invalidations = u64;
+
+/// The MESI directory.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: HashMap<u64, DirEntry>,
+    pub forwards: u64,
+    pub invalidation_msgs: u64,
+}
+
+impl Directory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn first_sharer(bitmap: u64) -> usize {
+        bitmap.trailing_zeros() as usize
+    }
+
+    /// A read miss from `cluster`. Returns where data comes from.
+    pub fn read_miss(&mut self, line: u64, cluster: usize) -> CoherenceAction {
+        let bit = 1u64 << cluster;
+        match self.entries.get_mut(&line) {
+            None => {
+                self.entries.insert(line, DirEntry { state: LineState::Shared, sharers: bit });
+                CoherenceAction::FetchFromMemory
+            }
+            Some(e) => match e.state {
+                LineState::Uncached => {
+                    e.state = LineState::Shared;
+                    e.sharers = bit;
+                    CoherenceAction::FetchFromMemory
+                }
+                LineState::Shared => {
+                    let owner = Self::first_sharer(e.sharers);
+                    e.sharers |= bit;
+                    if owner == cluster {
+                        // Stale directory entry for our own copy (can only
+                        // happen after a silent L2 refill); treat as memory.
+                        CoherenceAction::FetchFromMemory
+                    } else {
+                        self.forwards += 1;
+                        CoherenceAction::ForwardFromOwner { owner, demote_writeback: false }
+                    }
+                }
+                LineState::Modified => {
+                    let owner = Self::first_sharer(e.sharers);
+                    debug_assert_eq!(e.sharers.count_ones(), 1);
+                    e.state = LineState::Shared;
+                    e.sharers |= bit;
+                    if owner == cluster {
+                        CoherenceAction::FetchFromMemory
+                    } else {
+                        self.forwards += 1;
+                        CoherenceAction::ForwardFromOwner { owner, demote_writeback: true }
+                    }
+                }
+            },
+        }
+    }
+
+    /// A write miss (or upgrade) from `cluster`. Returns the data source
+    /// and the set of clusters to invalidate (excluding the requester).
+    pub fn write_miss(&mut self, line: u64, cluster: usize) -> (CoherenceAction, Invalidations) {
+        let bit = 1u64 << cluster;
+        let e = self
+            .entries
+            .entry(line)
+            .or_insert(DirEntry { state: LineState::Uncached, sharers: 0 });
+        let others = e.sharers & !bit;
+        let action = match e.state {
+            LineState::Uncached => CoherenceAction::FetchFromMemory,
+            LineState::Shared => {
+                if e.sharers & bit != 0 {
+                    // Upgrade: data already local.
+                    CoherenceAction::ForwardFromOwner { owner: cluster, demote_writeback: false }
+                } else if others != 0 {
+                    self.forwards += 1;
+                    CoherenceAction::ForwardFromOwner {
+                        owner: Self::first_sharer(others),
+                        demote_writeback: false,
+                    }
+                } else {
+                    CoherenceAction::FetchFromMemory
+                }
+            }
+            LineState::Modified => {
+                if others == 0 {
+                    // Already the modified owner (silent upgrade).
+                    CoherenceAction::ForwardFromOwner { owner: cluster, demote_writeback: false }
+                } else {
+                    self.forwards += 1;
+                    // Dirty ownership migrates; no memory writeback needed.
+                    CoherenceAction::ForwardFromOwner {
+                        owner: Self::first_sharer(others),
+                        demote_writeback: false,
+                    }
+                }
+            }
+        };
+        self.invalidation_msgs += others.count_ones() as u64;
+        e.state = LineState::Modified;
+        e.sharers = bit;
+        (action, others)
+    }
+
+    /// `cluster` evicted its copy of `line` (`dirty` = it was modified).
+    /// Returns true when the caller must write the line back to memory.
+    pub fn evict(&mut self, line: u64, cluster: usize, dirty: bool) -> bool {
+        let bit = 1u64 << cluster;
+        let Some(e) = self.entries.get_mut(&line) else {
+            return dirty;
+        };
+        e.sharers &= !bit;
+        let was_modified = e.state == LineState::Modified;
+        if e.sharers == 0 {
+            self.entries.remove(&line);
+        } else if was_modified {
+            e.state = LineState::Shared;
+        }
+        // A dirty eviction always writes back, whether the directory held
+        // the line Modified or a silent L1 write dirtied a Shared copy.
+        dirty
+    }
+
+    /// Directory state of a line (for tests/invariants).
+    pub fn state_of(&self, line: u64) -> (LineState, u64) {
+        match self.entries.get(&line) {
+            None => (LineState::Uncached, 0),
+            Some(e) => (e.state, e.sharers),
+        }
+    }
+
+    /// MESI invariant check: Modified lines have exactly one sharer.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (&line, e) in &self.entries {
+            match e.state {
+                LineState::Modified if e.sharers.count_ones() != 1 => {
+                    return Err(format!("line {line:#x}: modified with {} sharers", e.sharers.count_ones()));
+                }
+                LineState::Shared if e.sharers == 0 => {
+                    return Err(format!("line {line:#x}: shared with no sharers"));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    pub fn tracked_lines(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_read_fetches_from_memory() {
+        let mut d = Directory::new();
+        assert_eq!(d.read_miss(0x40, 0), CoherenceAction::FetchFromMemory);
+        assert_eq!(d.state_of(0x40), (LineState::Shared, 0b1));
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn second_reader_gets_forwarded() {
+        let mut d = Directory::new();
+        d.read_miss(0x40, 0);
+        let a = d.read_miss(0x40, 3);
+        assert_eq!(a, CoherenceAction::ForwardFromOwner { owner: 0, demote_writeback: false });
+        assert_eq!(d.state_of(0x40), (LineState::Shared, 0b1001));
+        assert_eq!(d.forwards, 1);
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut d = Directory::new();
+        d.read_miss(0x40, 0);
+        d.read_miss(0x40, 1);
+        d.read_miss(0x40, 2);
+        let (action, inv) = d.write_miss(0x40, 1);
+        assert_eq!(inv, 0b101, "clusters 0 and 2 invalidated");
+        assert!(matches!(action, CoherenceAction::ForwardFromOwner { .. }));
+        assert_eq!(d.state_of(0x40), (LineState::Modified, 0b10));
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn read_of_modified_line_demotes_with_writeback() {
+        let mut d = Directory::new();
+        d.write_miss(0x40, 2);
+        let a = d.read_miss(0x40, 5);
+        assert_eq!(a, CoherenceAction::ForwardFromOwner { owner: 2, demote_writeback: true });
+        assert_eq!(d.state_of(0x40), (LineState::Shared, (1 << 2) | (1 << 5)));
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ownership_migrates_between_writers() {
+        let mut d = Directory::new();
+        d.write_miss(0x40, 0);
+        let (a, inv) = d.write_miss(0x40, 7);
+        assert_eq!(a, CoherenceAction::ForwardFromOwner { owner: 0, demote_writeback: false });
+        assert_eq!(inv, 1);
+        assert_eq!(d.state_of(0x40), (LineState::Modified, 1 << 7));
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn eviction_of_modified_requires_writeback() {
+        let mut d = Directory::new();
+        d.write_miss(0x40, 4);
+        assert!(d.evict(0x40, 4, true));
+        assert_eq!(d.state_of(0x40), (LineState::Uncached, 0));
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn eviction_of_shared_copy_is_silent() {
+        let mut d = Directory::new();
+        d.read_miss(0x40, 0);
+        d.read_miss(0x40, 1);
+        assert!(!d.evict(0x40, 0, false));
+        assert_eq!(d.state_of(0x40), (LineState::Shared, 0b10));
+    }
+
+    #[test]
+    fn upgrade_does_not_refetch() {
+        let mut d = Directory::new();
+        d.read_miss(0x40, 3);
+        let (a, inv) = d.write_miss(0x40, 3);
+        assert_eq!(a, CoherenceAction::ForwardFromOwner { owner: 3, demote_writeback: false });
+        assert_eq!(inv, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Miss-status holding registers: the per-core limiter on outstanding line
+//! misses and the merge point for accesses to an in-flight line.
+
+use std::collections::HashMap;
+
+/// A waiter to notify when the line arrives: the ROB sequence number of the
+/// load (stores are posted and never wait).
+pub type Waiter = u64;
+
+/// One in-flight line miss.
+#[derive(Debug, Clone)]
+pub struct MshrEntry {
+    pub line: u64,
+    pub waiters: Vec<Waiter>,
+    /// The fill must also perform a write (a store merged into the miss).
+    pub write_intent: bool,
+}
+
+/// Per-core MSHR file.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<u64, MshrEntry>,
+    pub merges: u64,
+}
+
+impl MshrFile {
+    pub fn new(capacity: usize) -> Self {
+        MshrFile { capacity, entries: HashMap::new(), merges: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Is a miss to `line` already outstanding?
+    pub fn contains(&self, line: u64) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Merge a new access into an existing entry. Returns false if absent.
+    pub fn merge(&mut self, line: u64, waiter: Option<Waiter>, is_write: bool) -> bool {
+        match self.entries.get_mut(&line) {
+            Some(e) => {
+                if let Some(w) = waiter {
+                    e.waiters.push(w);
+                }
+                e.write_intent |= is_write;
+                self.merges += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Allocate a new entry. Returns false when full (caller must stall).
+    pub fn allocate(&mut self, line: u64, waiter: Option<Waiter>, is_write: bool) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        debug_assert!(!self.entries.contains_key(&line));
+        self.entries.insert(
+            line,
+            MshrEntry { line, waiters: waiter.into_iter().collect(), write_intent: is_write },
+        );
+        true
+    }
+
+    /// The fill for `line` arrived: release and return the entry.
+    pub fn complete(&mut self, line: u64) -> Option<MshrEntry> {
+        self.entries.remove(&line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_until_full() {
+        let mut m = MshrFile::new(2);
+        assert!(m.allocate(0, Some(1), false));
+        assert!(m.allocate(64, Some(2), false));
+        assert!(m.is_full());
+        assert!(!m.allocate(128, Some(3), false));
+    }
+
+    #[test]
+    fn merge_joins_waiters_and_write_intent() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0, Some(1), false);
+        assert!(m.merge(0, Some(2), true));
+        assert!(!m.merge(64, None, false), "no entry for other line");
+        let e = m.complete(0).unwrap();
+        assert_eq!(e.waiters, vec![1, 2]);
+        assert!(e.write_intent);
+        assert_eq!(m.merges, 1);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn complete_unknown_line_is_none() {
+        let mut m = MshrFile::new(1);
+        assert!(m.complete(0).is_none());
+    }
+}

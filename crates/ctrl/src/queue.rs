@@ -1,0 +1,167 @@
+//! The controller's bounded request queue.
+//!
+//! Each memory controller holds pending requests in a 32-entry queue
+//! (§VI-A). The scheduler scans it every command slot, so the queue keeps
+//! simple dense storage plus the per-bank occupancy counts the page
+//! policies consult ("as long as the queue is not empty, the controller can
+//! make an effective decision" — §V).
+
+use microbank_core::config::MemConfig;
+use microbank_core::request::MemRequest;
+
+/// Bounded request queue with per-μbank occupancy tracking.
+#[derive(Debug, Clone)]
+pub struct RequestQueue {
+    entries: Vec<MemRequest>,
+    capacity: usize,
+    /// Pending-request count per flat μbank index (channel-local).
+    per_bank: Vec<u32>,
+    /// Queued write (writeback) count, for write-drain watermarks.
+    writes: usize,
+}
+
+impl RequestQueue {
+    pub fn new(cfg: &MemConfig) -> Self {
+        RequestQueue {
+            entries: Vec::with_capacity(cfg.queue_size),
+            capacity: cfg.queue_size,
+            per_bank: vec![0; cfg.ubanks_per_channel()],
+            writes: 0,
+        }
+    }
+
+    /// Number of queued writes.
+    pub fn writes_queued(&self) -> usize {
+        self.writes
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Try to enqueue; returns `false` (and drops nothing) when full. The
+    /// request's `loc` must already be decoded and channel-local.
+    pub fn push(&mut self, req: MemRequest, flat_ubank: usize) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.per_bank[flat_ubank] += 1;
+        self.writes += req.is_write() as usize;
+        self.entries.push(req);
+        true
+    }
+
+    /// Remove the entry at `idx` (swap-remove; order is reconstructed from
+    /// arrival stamps by the scheduler, so storage order is free).
+    pub fn remove(&mut self, idx: usize, flat_ubank: usize) -> MemRequest {
+        self.per_bank[flat_ubank] -= 1;
+        let req = self.entries.swap_remove(idx);
+        self.writes -= req.is_write() as usize;
+        req
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &MemRequest> {
+        self.entries.iter()
+    }
+
+    pub fn get(&self, idx: usize) -> &MemRequest {
+        &self.entries[idx]
+    }
+
+    /// Number of queued requests targeting the given μbank.
+    pub fn pending_for_bank(&self, flat_ubank: usize) -> u32 {
+        self.per_bank[flat_ubank]
+    }
+
+    /// Does any queued request target `flat_ubank` with `row`?
+    /// `flat_of` maps an entry to its flat μbank index.
+    pub fn any_hit_for(&self, flat_ubank: usize, row: u32, flat_of: impl Fn(&MemRequest) -> usize) -> bool {
+        self.entries
+            .iter()
+            .any(|r| r.loc.row == row && flat_of(r) == flat_ubank)
+    }
+
+    /// Indices of all entries, for scheduler scans.
+    pub fn indices(&self) -> std::ops::Range<usize> {
+        0..self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microbank_core::address::AddressMap;
+    use microbank_core::request::{MemRequest, ReqKind};
+
+    fn cfg() -> MemConfig {
+        MemConfig::lpddr_tsi().with_ubanks(2, 2).with_queue_size(4)
+    }
+
+    fn req(id: u64, addr: u64, cfg: &MemConfig) -> (MemRequest, usize) {
+        let map = AddressMap::new(cfg);
+        let mut r = MemRequest::new(id, addr, ReqKind::Read, 0, id);
+        r.loc = map.decode(addr);
+        let flat = r.loc.ubank_flat(cfg);
+        (r, flat)
+    }
+
+    #[test]
+    fn respects_capacity() {
+        let c = cfg();
+        let mut q = RequestQueue::new(&c);
+        for i in 0..4 {
+            let (r, f) = req(i, i * 64, &c);
+            assert!(q.push(r, f));
+        }
+        assert!(q.is_full());
+        let (r, f) = req(99, 99 * 64, &c);
+        assert!(!q.push(r, f));
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn per_bank_counts_track_push_and_remove() {
+        let c = cfg();
+        let mut q = RequestQueue::new(&c);
+        // 0x4000 differs in the bank field for (2,2) at row interleaving,
+        // so the two requests target distinct μbanks.
+        let (r1, f1) = req(0, 0, &c);
+        let (r2, f2) = req(1, 0x4000, &c);
+        assert_ne!(f1, f2);
+        q.push(r1, f1);
+        q.push(r2, f2);
+        assert_eq!(q.pending_for_bank(f1), 1);
+        assert_eq!(q.pending_for_bank(f2), 1);
+        let idx = q.indices().find(|&i| q.get(i).id == 0).unwrap();
+        q.remove(idx, f1);
+        assert_eq!(q.pending_for_bank(f1), 0);
+        assert_eq!(q.pending_for_bank(f2), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn any_hit_for_matches_row() {
+        let c = cfg();
+        let map = AddressMap::new(&c);
+        let mut q = RequestQueue::new(&c);
+        let (r, f) = req(0, 0, &c);
+        let row = r.loc.row;
+        q.push(r, f);
+        let flat_of = |m: &MemRequest| m.loc.ubank_flat(&c);
+        assert!(q.any_hit_for(f, row, flat_of));
+        assert!(!q.any_hit_for(f, row + 1, |m: &MemRequest| m.loc.ubank_flat(&c)));
+        let _ = map;
+    }
+}

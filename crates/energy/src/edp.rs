@@ -1,0 +1,50 @@
+//! Energy-delay product helpers.
+//!
+//! The paper reports *relative 1/EDP* (higher is better) everywhere
+//! (Figs. 9, 10, 12, 14). EDP = total system energy × execution time.
+
+/// Energy-delay product. `energy_nj` is the total system energy (processor
+/// plus memory) and `seconds` the execution time of the fixed work unit.
+pub fn edp(energy_nj: f64, seconds: f64) -> f64 {
+    energy_nj * 1e-9 * seconds
+}
+
+/// Relative inverse EDP of a candidate vs a baseline: > 1 means the
+/// candidate is more energy-efficient (the paper's reporting convention).
+pub fn relative_inverse_edp(
+    base_energy_nj: f64,
+    base_seconds: f64,
+    cand_energy_nj: f64,
+    cand_seconds: f64,
+) -> f64 {
+    edp(base_energy_nj, base_seconds) / edp(cand_energy_nj, cand_seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edp_definition() {
+        assert!((edp(2.0e9, 3.0) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn better_candidate_scores_above_one() {
+        // Half the energy at half the time → 4× better 1/EDP.
+        let r = relative_inverse_edp(100.0, 1.0, 50.0, 0.5);
+        assert!((r - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_systems_score_one() {
+        assert!((relative_inverse_edp(7.0, 2.0, 7.0, 2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slower_but_leaner_tradeoff() {
+        // 4× less energy but 2× slower → 2× better EDP.
+        let r = relative_inverse_edp(100.0, 1.0, 25.0, 2.0);
+        assert!((r - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests over the area/energy/power model space: monotonicity,
+//! additivity, and cross-model consistency for all interfaces and
+//! partitioning degrees.
+
+use microbank_core::config::Interface;
+use microbank_core::geometry::UbankConfig;
+use microbank_core::stats::DramStats;
+use microbank_energy::area::AreaModel;
+use microbank_energy::corepower::CorePowerModel;
+use microbank_energy::energy::EnergyModel;
+use microbank_energy::params::EnergyParams;
+use microbank_energy::power::PowerIntegrator;
+use proptest::prelude::*;
+
+fn any_ubank() -> impl Strategy<Value = UbankConfig> {
+    (
+        prop::sample::select(vec![1usize, 2, 4, 8, 16]),
+        prop::sample::select(vec![1usize, 2, 4, 8, 16]),
+    )
+        .prop_map(|(w, b)| UbankConfig::new(w, b))
+}
+
+fn any_iface() -> impl Strategy<Value = Interface> {
+    prop::sample::select(vec![Interface::Ddr3Pcb, Interface::Ddr3Tsi, Interface::LpddrTsi])
+}
+
+proptest! {
+    #[test]
+    fn act_pre_energy_is_monotone_decreasing_in_nw(iface in any_iface(), nb in prop::sample::select(vec![1usize, 2, 4, 8, 16])) {
+        let p = EnergyParams::for_interface(iface);
+        let mut prev = f64::INFINITY;
+        for nw in [1usize, 2, 4, 8, 16] {
+            let e = EnergyModel::new(p, UbankConfig::new(nw, nb)).act_pre_nj();
+            prop_assert!(e < prev, "nw={nw}: {e} !< {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn energy_per_read_is_monotone_in_beta(iface in any_iface(), u in any_ubank()) {
+        let m = EnergyModel::new(EnergyParams::for_interface(iface), u);
+        let mut prev = 0.0;
+        for beta in [0.0, 0.1, 0.25, 0.5, 1.0] {
+            let e = m.energy_per_read_nj(beta);
+            prop_assert!(e >= prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn power_integration_is_linear_in_events(
+        iface in any_iface(),
+        u in any_ubank(),
+        acts in 0u64..10_000,
+        reads in 0u64..10_000,
+        writes in 0u64..10_000,
+        k in 1u64..5,
+    ) {
+        let integ = PowerIntegrator::new(EnergyModel::new(EnergyParams::for_interface(iface), u), 16);
+        let s1 = DramStats { activates: acts, reads, writes, ..Default::default() };
+        let sk = DramStats {
+            activates: acts * k,
+            reads: reads * k,
+            writes: writes * k,
+            ..Default::default()
+        };
+        let e1 = integ.integrate(&s1, 0).total_nj();
+        let ek = integ.integrate(&sk, 0).total_nj();
+        prop_assert!((ek - k as f64 * e1).abs() < 1e-6 * ek.max(1.0));
+    }
+
+    #[test]
+    fn area_overhead_superadditive_in_partition_count(u in any_ubank()) {
+        // More μbanks never cost less area, and area is finite/sane.
+        let m = AreaModel::new();
+        let a = m.relative_area(u);
+        prop_assert!((1.0..1.30).contains(&a), "{a}");
+        if u.n_w > 1 {
+            let smaller = UbankConfig::new(u.n_w / 2, u.n_b);
+            prop_assert!(m.relative_area(smaller) < a);
+        }
+        if u.n_b > 1 {
+            let smaller = UbankConfig::new(u.n_w, u.n_b / 2);
+            prop_assert!(m.relative_area(smaller) < a);
+        }
+    }
+
+    #[test]
+    fn core_energy_is_monotone_in_work_and_time(
+        instrs in 0u64..1_000_000,
+        cycles in 0u64..10_000_000,
+        cores in 1usize..64,
+    ) {
+        let m = CorePowerModel::default();
+        let base = m.energy_nj(instrs, cycles, cores);
+        prop_assert!(base >= 0.0);
+        prop_assert!(m.energy_nj(instrs + 1000, cycles, cores) > base);
+        prop_assert!(m.energy_nj(instrs, cycles + 1_000_000, cores) > base);
+        prop_assert!(m.energy_nj(instrs, cycles, cores) <= m.energy_nj(instrs, cycles, cores + 1) || cycles == 0);
+    }
+
+    #[test]
+    fn interface_energy_ordering_holds_for_all_configs(u in any_ubank(), beta in 0.0f64..1.0) {
+        // LPDDR-TSI ≤ DDR3-TSI ≤ DDR3-PCB per read, at every partitioning.
+        let e = |i: Interface| EnergyModel::new(EnergyParams::for_interface(i), u).energy_per_read_nj(beta);
+        prop_assert!(e(Interface::LpddrTsi) <= e(Interface::Ddr3Tsi) + 1e-12);
+        prop_assert!(e(Interface::Ddr3Tsi) <= e(Interface::Ddr3Pcb) + 1e-12);
+    }
+}

@@ -1,0 +1,26 @@
+//! # microbank-sim
+//!
+//! The full-system μbank simulator: wires the 64-core CMP model
+//! (`microbank-cpu`) to the memory controllers (`microbank-ctrl`) and the
+//! μbank DRAM devices (`microbank-core`), integrates energy
+//! (`microbank-energy`), and drives the workload generators
+//! (`microbank-workloads`).
+//!
+//! * [`simulator`] — [`simulator::SimConfig`] → [`simulator::SimResult`]:
+//!   one run of the whole system, plus a parallel sweep runner.
+//! * [`experiment`] — one driver per paper figure (Fig. 8–14 and the §I
+//!   headline numbers), returning structured rows for the harness
+//!   binaries in `microbank-bench`.
+
+pub mod experiment;
+pub mod report;
+pub mod simulator;
+
+pub use experiment::{
+    base_cfg, headline, interface_study, interleave_policy_study, organization_comparison,
+    predictor_study,
+    representative_study, ubank_grid, GridResult, InterfaceRow, InterleaveRow, PredictorRow,
+    RepresentativeRow, DEGREES, REPRESENTATIVE,
+};
+pub use report::{summarize, summary_columns, Table};
+pub use simulator::{run, run_many, SimConfig, SimResult};

@@ -1,0 +1,148 @@
+//! Result reporting: CSV and Markdown emitters for experiment outputs, so
+//! harness runs can be archived and diffed (EXPERIMENTS.md is generated
+//! from these).
+
+use crate::simulator::SimResult;
+
+/// Escape a CSV field (quotes + commas).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// One row of a generic results table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub label: String,
+    pub values: Vec<f64>,
+}
+
+/// A named results table with column headers.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        let label = label.into();
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch in {}", self.title);
+        self.rows.push(Row { label, values });
+    }
+
+    /// Render as CSV (header row + data rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("label");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(&csv_field(c));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&csv_field(&r.label));
+            for v in &r.values {
+                out.push_str(&format!(",{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavored Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str("| label |");
+        for c in &self.columns {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push_str("\n|---|");
+        for _ in &self.columns {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!("| {} |", r.label));
+            for v in &r.values {
+                out.push_str(&format!(" {v:.3} |"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Standard per-run summary row used by several harnesses.
+pub fn summary_columns() -> Vec<&'static str> {
+    vec!["ipc", "mapki", "row_hit_rate", "mean_lat", "p95_lat", "mem_power_w", "actpre_frac"]
+}
+
+/// Extract the standard summary values from a [`SimResult`].
+pub fn summarize(r: &SimResult) -> Vec<f64> {
+    vec![
+        r.ipc,
+        r.mapki,
+        r.row_hit_rate,
+        r.mean_read_latency,
+        r.read_latency_hist.percentile(0.95) as f64,
+        r.memory_power_w().total_w(),
+        r.mem_energy.act_pre_fraction(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("test", &["a", "b"]);
+        t.push("row1", vec![1.0, 2.0]);
+        t.push("row,2", vec![3.5, 4.25]);
+        t
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let csv = table().to_csv();
+        assert!(csv.contains("\"row,2\""));
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("label,a,b"));
+    }
+
+    #[test]
+    fn markdown_has_header_separator() {
+        let md = table().to_markdown();
+        assert!(md.contains("|---|---|---|"));
+        assert!(md.contains("| row1 | 1.000 | 2.000 |"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("t", &["a"]);
+        t.push("x", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn summary_columns_match_summarize() {
+        use crate::simulator::{run, SimConfig};
+        use microbank_workloads::suite::Workload;
+        let mut cfg = SimConfig::spec_single_channel(Workload::Spec("456.hmmer")).quick();
+        cfg.cmp.cores = 4;
+        let r = run(&cfg);
+        assert_eq!(summarize(&r).len(), summary_columns().len());
+    }
+}

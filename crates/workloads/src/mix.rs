@@ -1,0 +1,68 @@
+//! The multiprogrammed mixtures of §VI-A: *mix-high* draws only from the
+//! spec-high group; *mix-blend* draws from all three MAPKI groups.
+
+use crate::profile::AppProfile;
+use crate::spec::{SPEC_HIGH, SPEC_LOW, SPEC_MED};
+
+/// mix-high: spec-high applications only, with the paper's
+/// weighted-population semantics ("the number of populated points is
+/// proportional to their weights", §VI-A): the heaviest memory consumers
+/// appear twice, so the mixture is distinct from the uniform per-app
+/// average (`Workload::SpecGroupAvg`).
+pub fn mix_high() -> Vec<AppProfile> {
+    let mut out = Vec::new();
+    for (i, p) in SPEC_HIGH.iter().enumerate() {
+        out.push(*p);
+        // Double-weight mcf, soplex, and lbm (indices 0, 3, 6).
+        if i % 3 == 0 {
+            out.push(*p);
+        }
+    }
+    out
+}
+
+/// mix-blend: one slice of every group, interleaved high/med/low so any
+/// prefix of the assignment is itself blended.
+pub fn mix_blend() -> Vec<AppProfile> {
+    let mut out = Vec::new();
+    let n = SPEC_HIGH.len().max(SPEC_MED.len()).max(SPEC_LOW.len());
+    for i in 0..n {
+        if i < SPEC_HIGH.len() {
+            out.push(SPEC_HIGH[i]);
+        }
+        if i < SPEC_MED.len() {
+            out.push(SPEC_MED[i]);
+        }
+        if i < SPEC_LOW.len() {
+            out.push(SPEC_LOW[i]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{group_of, SpecGroup};
+
+    #[test]
+    fn mix_high_is_pure_spec_high_with_weights() {
+        for p in mix_high() {
+            assert_eq!(group_of(p.name), Some(SpecGroup::High));
+        }
+        // 9 apps + 3 double-weighted = 12 slots.
+        assert_eq!(mix_high().len(), 12);
+        let mcf = mix_high().iter().filter(|p| p.name == "429.mcf").count();
+        assert_eq!(mcf, 2, "heavy apps are double-weighted");
+    }
+
+    #[test]
+    fn mix_blend_covers_all_groups_in_any_prefix() {
+        let m = mix_blend();
+        assert_eq!(m.len(), 29);
+        let prefix: Vec<_> = m.iter().take(6).map(|p| group_of(p.name).unwrap()).collect();
+        assert!(prefix.contains(&SpecGroup::High));
+        assert!(prefix.contains(&SpecGroup::Med));
+        assert!(prefix.contains(&SpecGroup::Low));
+    }
+}

@@ -1,0 +1,40 @@
+//! Page-management policy study (paper §V): compare close-page, open-page,
+//! the local bimodal predictor, the tournament predictor, and the perfect
+//! oracle on a pointer-chasing workload, with and without μbanks.
+//!
+//! Run with: `cargo run --release --example page_policy_study`
+
+use microbank::prelude::*;
+use microbank::sim;
+
+fn main() {
+    let policies = [
+        PolicyKind::Close,
+        PolicyKind::Open,
+        PolicyKind::MinimalistOpen { window_cycles: 98 }, // tRC, after [32]
+        PolicyKind::Predictive(PredictorKind::Local),
+        PolicyKind::Predictive(PredictorKind::Tournament),
+        PolicyKind::Predictive(PredictorKind::Perfect),
+    ];
+    for (nw, nb) in [(1usize, 1usize), (2, 8)] {
+        println!("=== (nW, nB) = ({nw}, {nb}) — 429.mcf, 4 copies, 1 channel ===");
+        println!("{:<18}{:>8}{:>10}{:>12}", "policy", "IPC", "hit-rate", "ACT count");
+        for policy in policies {
+            let mut cfg = SimConfig::spec_single_channel(Workload::Spec("429.mcf")).quick();
+            cfg.cmp.cores = 4; // moderate load: policy effects are latency effects
+            cfg.mem = cfg.mem.with_ubanks(nw, nb);
+            cfg.policy = policy;
+            let r = sim::run(&cfg);
+            println!(
+                "{:<18}{:>8.3}{:>10.2}{:>12}",
+                policy.label(),
+                r.ipc,
+                r.policy_hit_rate,
+                r.dram.activates
+            );
+        }
+        println!();
+    }
+    println!("(paper: close wins on mcf without μbanks; with μbanks the simple");
+    println!(" open policy is within a few percent of the predictors — §V, Fig. 13)");
+}

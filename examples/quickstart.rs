@@ -1,0 +1,37 @@
+//! Quickstart: simulate the paper's headline comparison on a small scale —
+//! a memory-intensive workload (429.mcf, rate mode) on the baseline memory
+//! system and on a μbank-partitioned TSI system.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use microbank::prelude::*;
+use microbank::sim;
+
+fn main() {
+    // The paper's single-channel SPEC setup (§VI-A), shortened for a demo.
+    let baseline = SimConfig::spec_single_channel(Workload::Spec("429.mcf")).quick();
+
+    // Same system with every bank split into 4×4 = 16 μbanks.
+    let mut ubank = baseline.clone();
+    ubank.mem = ubank.mem.with_ubanks(4, 4);
+
+    println!("simulating baseline (1,1) …");
+    let r0 = sim::run(&baseline);
+    println!("simulating μbank (4,4) …");
+    let r1 = sim::run(&ubank);
+
+    println!();
+    println!("                         baseline    (4,4) ubanks");
+    println!("IPC                      {:>8.3}    {:>8.3}", r0.ipc, r1.ipc);
+    println!("DRAM reads               {:>8}    {:>8}", r0.dram.reads, r1.dram.reads);
+    println!("row-buffer hit rate      {:>8.2}    {:>8.2}", r0.row_hit_rate, r1.row_hit_rate);
+    println!("mean read latency (cyc)  {:>8.0}    {:>8.0}", r0.mean_read_latency, r1.mean_read_latency);
+    println!(
+        "memory energy (µJ)       {:>8.1}    {:>8.1}",
+        r0.mem_energy.total_nj() / 1000.0,
+        r1.mem_energy.total_nj() / 1000.0
+    );
+    println!();
+    println!("relative IPC:   {:.2}x", r1.ipc / r0.ipc);
+    println!("relative 1/EDP: {:.2}x", r1.inverse_edp_vs(&r0));
+}

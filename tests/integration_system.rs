@@ -1,0 +1,157 @@
+//! Cross-crate integration tests: the full simulator stack (workload
+//! generator → CMP → controllers → μbank DRAM → energy accounting) must
+//! uphold global invariants on every run.
+
+use microbank::prelude::*;
+use microbank::sim;
+
+fn small(workload: Workload, nw: usize, nb: usize) -> SimConfig {
+    let mut cfg = SimConfig::spec_single_channel(workload).quick();
+    cfg.cmp.cores = 8;
+    cfg.mem = cfg.mem.with_ubanks(nw, nb);
+    cfg
+}
+
+#[test]
+fn determinism_across_runs() {
+    let cfg = small(Workload::Spec("450.soplex"), 2, 8);
+    let a = sim::run(&cfg);
+    let b = sim::run(&cfg);
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.dram, b.dram);
+    assert_eq!(a.mem_energy, b.mem_energy);
+}
+
+#[test]
+fn seeds_change_results() {
+    let cfg = small(Workload::Spec("450.soplex"), 2, 8);
+    let mut cfg2 = cfg.clone();
+    cfg2.seed = cfg.seed + 1;
+    let a = sim::run(&cfg);
+    let b = sim::run(&cfg2);
+    assert_ne!(a.dram.reads, b.dram.reads);
+}
+
+#[test]
+fn dram_command_accounting_is_consistent() {
+    let r = sim::run(&small(Workload::Spec("429.mcf"), 1, 1));
+    // Every activate is eventually precharged (modulo rows open at the end).
+    assert!(r.dram.precharges <= r.dram.activates);
+    assert!(r.dram.activates <= r.dram.precharges + 64, "unbounded open rows");
+    // Row-buffer classification covers every column access's arrival.
+    let classified = r.dram.row_hits + r.dram.row_closed + r.dram.row_conflicts;
+    // (writebacks and warmup accesses make this approximate; it must be
+    // the same order of magnitude)
+    assert!(classified > 0);
+    // Data-bus busy time = bursts × burst length.
+    let t = cfg_timings();
+    assert_eq!(r.dram.data_bus_busy, (r.dram.reads + r.dram.writes) * t);
+}
+
+fn cfg_timings() -> u64 {
+    MemConfig::lpddr_tsi().timings().t_burst
+}
+
+#[test]
+fn energy_buckets_are_nonnegative_and_additive() {
+    let r = sim::run(&small(Workload::Spec("470.lbm"), 4, 4));
+    let e = r.mem_energy;
+    for v in [e.act_pre_nj, e.rdwr_nj, e.io_nj, e.static_nj, e.refresh_nj] {
+        assert!(v >= 0.0);
+    }
+    let total = e.act_pre_nj + e.rdwr_nj + e.io_nj + e.static_nj + e.refresh_nj;
+    assert!((total - e.total_nj()).abs() < 1e-9);
+    assert!(r.total_energy_nj() > e.total_nj(), "core energy missing");
+}
+
+#[test]
+fn microbank_partitioning_helps_memory_bound_workloads() {
+    let base = sim::run(&small(Workload::Spec("429.mcf"), 1, 1));
+    let ub = sim::run(&small(Workload::Spec("429.mcf"), 4, 4));
+    assert!(ub.ipc > base.ipc * 1.05, "ubank {} vs base {}", ub.ipc, base.ipc);
+    assert!(ub.inverse_edp_vs(&base) > 1.2, "EDP should improve markedly");
+}
+
+#[test]
+fn wordline_partitioning_cuts_act_pre_energy_share() {
+    let base = sim::run(&small(Workload::Spec("429.mcf"), 1, 1));
+    let ub = sim::run(&small(Workload::Spec("429.mcf"), 8, 2));
+    let per_act_base = base.mem_energy.act_pre_nj / base.dram.activates.max(1) as f64;
+    let per_act_ub = ub.mem_energy.act_pre_nj / ub.dram.activates.max(1) as f64;
+    assert!(per_act_ub < per_act_base / 6.0, "{per_act_ub} vs {per_act_base}");
+}
+
+#[test]
+fn refresh_costs_some_performance() {
+    let mut with = small(Workload::Spec("429.mcf"), 1, 1);
+    with.mem = with.mem.with_refresh(true);
+    let mut without = small(Workload::Spec("429.mcf"), 1, 1);
+    without.mem = without.mem.with_refresh(false);
+    let a = sim::run(&with);
+    let b = sim::run(&without);
+    assert!(a.dram.refreshes > 0);
+    assert_eq!(b.dram.refreshes, 0);
+    assert!(b.ipc >= a.ipc * 0.99, "refresh-off must not be slower");
+}
+
+#[test]
+fn multithreaded_workload_exercises_coherence_and_completes() {
+    let mut cfg = SimConfig::paper_default(Workload::Radix).quick();
+    cfg.cmp.cores = 16;
+    // Shrink the L2 so dirty evictions (writebacks) appear within the
+    // short test window; the full-size L2 needs megabytes of traffic.
+    cfg.cmp.l2_bytes = 128 * 1024;
+    let r = sim::run(&cfg);
+    assert!(r.committed > 10_000, "{}", r.committed);
+    assert!(r.dram.writes > 0, "RADIX must generate writebacks");
+}
+
+#[test]
+fn compute_bound_workload_is_fast_and_memory_light() {
+    let mut cfg = SimConfig::paper_default(Workload::Spec("453.povray")).quick();
+    cfg.cmp.cores = 8;
+    let r = sim::run(&cfg);
+    assert!(r.ipc / 8.0 > 1.0, "povray per-core IPC {}", r.ipc / 8.0);
+    assert!(r.mapki < 5.0, "povray MAPKI {}", r.mapki);
+}
+
+#[test]
+fn powerdown_saves_static_energy_on_light_workloads() {
+    // A compute-bound workload leaves channels idle: power-down mode must
+    // engage, save static energy, and cost (almost) no performance.
+    let mk = |pd: bool| {
+        let mut cfg = SimConfig::paper_default(Workload::Spec("453.povray")).quick();
+        cfg.cmp.cores = 8;
+        if pd {
+            cfg.mem = cfg.mem.with_powerdown(500);
+        }
+        cfg
+    };
+    let off = sim::run(&mk(false));
+    let on = sim::run(&mk(true));
+    assert!(on.dram.powerdown_entries > 0, "power-down never engaged");
+    assert!(
+        on.mem_energy.static_nj < 0.75 * off.mem_energy.static_nj,
+        "static {} vs {}",
+        on.mem_energy.static_nj,
+        off.mem_energy.static_nj
+    );
+    assert!(on.ipc > 0.97 * off.ipc, "power-down cost too much IPC: {} vs {}", on.ipc, off.ipc);
+}
+
+#[test]
+fn fairness_index_is_sane() {
+    let r = sim::run(&small(Workload::Spec("429.mcf"), 4, 4));
+    let f = r.fairness_index();
+    assert!((0.3..=1.0).contains(&f), "fairness {f}");
+    assert_eq!(r.per_core_committed.len(), 8);
+}
+
+#[test]
+fn mapki_ordering_survives_end_to_end() {
+    let hi = sim::run(&small(Workload::Spec("429.mcf"), 1, 1));
+    let mut mid_cfg = SimConfig::paper_default(Workload::Spec("403.gcc")).quick();
+    mid_cfg.cmp.cores = 8;
+    let mid = sim::run(&mid_cfg);
+    assert!(hi.mapki > 2.0 * mid.mapki, "hi {} vs mid {}", hi.mapki, mid.mapki);
+}
