@@ -10,8 +10,10 @@ fn addr_stream(n: usize, span: u64) -> Vec<u64> {
     let mut state = 0xABCDEFu64;
     (0..n)
         .map(|_| {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
-            (state >> 10) % span & !63
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
+            ((state >> 10) % span) & !63
         })
         .collect()
 }

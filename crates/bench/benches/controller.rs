@@ -10,7 +10,10 @@ use microbank_ctrl::scheduler::SchedulerKind;
 use std::hint::black_box;
 
 fn drive(sched: SchedulerKind, reqs: u64) -> u64 {
-    let cfg = MemConfig::lpddr_tsi().with_ubanks(4, 4).with_channels(1).with_refresh(false);
+    let cfg = MemConfig::lpddr_tsi()
+        .with_ubanks(4, 4)
+        .with_channels(1)
+        .with_refresh(false);
     let mut c = MemoryController::new(&cfg, sched, PolicyKind::Open, 8);
     let mut done: Vec<Completion> = Vec::new();
     let mut issued = 0u64;
@@ -20,8 +23,10 @@ fn drive(sched: SchedulerKind, reqs: u64) -> u64 {
     let mut state = 0x12345678u64;
     while completed < reqs {
         while issued < reqs && c.free_slots() > 0 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let addr = (state >> 16) % (1 << 28) & !63;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = ((state >> 16) % (1 << 28)) & !63;
             let mut r = MemRequest::new(issued, addr, ReqKind::Read, (issued % 8) as u16, now);
             r.loc = c.map().decode(addr);
             c.enqueue(r, now);

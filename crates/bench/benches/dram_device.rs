@@ -40,10 +40,14 @@ fn stream_reads(cfg: &MemConfig, n: u64) -> u64 {
 fn bench_channel(c: &mut Criterion) {
     let mut g = c.benchmark_group("dram_channel_stream");
     for (nw, nb) in [(1usize, 1usize), (4, 4), (16, 16)] {
-        let cfg = MemConfig::lpddr_tsi().with_ubanks(nw, nb).with_refresh(false);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{nw}x{nb}")), &cfg, |b, cfg| {
-            b.iter(|| stream_reads(black_box(cfg), 512))
-        });
+        let cfg = MemConfig::lpddr_tsi()
+            .with_ubanks(nw, nb)
+            .with_refresh(false);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nw}x{nb}")),
+            &cfg,
+            |b, cfg| b.iter(|| stream_reads(black_box(cfg), 512)),
+        );
     }
     g.finish();
 }

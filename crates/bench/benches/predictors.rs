@@ -14,7 +14,11 @@ fn outcomes(n: usize) -> Vec<(usize, u16, PageDecision)> {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             let bank = ((state >> 8) % 512) as usize;
             let thread = ((state >> 20) % 64) as u16;
-            let d = if state >> 33 & 1 == 0 { PageDecision::KeepOpen } else { PageDecision::Close };
+            let d = if state >> 33 & 1 == 0 {
+                PageDecision::KeepOpen
+            } else {
+                PageDecision::Close
+            };
             (bank, thread, d)
         })
         .collect()
@@ -43,16 +47,20 @@ fn bench_predictors(c: &mut Criterion) {
             p.stats.predictions
         })
     });
-    g.bench_with_input(BenchmarkId::from_parameter("tournament"), &data, |b, data| {
-        b.iter(|| {
-            let mut p = TournamentPredictor::new(512, 64);
-            for &(bank, t, o) in data {
-                let pred = p.predict(bank, t);
-                p.update(bank, t, pred, black_box(o));
-            }
-            p.stats.predictions
-        })
-    });
+    g.bench_with_input(
+        BenchmarkId::from_parameter("tournament"),
+        &data,
+        |b, data| {
+            b.iter(|| {
+                let mut p = TournamentPredictor::new(512, 64);
+                for &(bank, t, o) in data {
+                    let pred = p.predict(bank, t);
+                    p.update(bank, t, pred, black_box(o));
+                }
+                p.stats.predictions
+            })
+        },
+    );
     g.finish();
 }
 

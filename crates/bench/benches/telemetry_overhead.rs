@@ -1,0 +1,42 @@
+//! Cost of the telemetry layer on the end-to-end simulation loop:
+//!
+//!   off      hooks compiled in but disabled (the default) — this must
+//!            stay within noise of the pre-telemetry simulator, since
+//!            every hook is a single `Option` branch
+//!   on       full collection: epoch sampling, heat counters, command
+//!            trace ring — the price of an instrumented run
+//!
+//! Run with `cargo bench --bench telemetry_overhead`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microbank_sim::simulator::{run, SimConfig};
+use microbank_telemetry::TelemetryConfig;
+use microbank_workloads::suite::Workload;
+use std::hint::black_box;
+
+fn short(n_w: usize, n_b: usize) -> SimConfig {
+    let mut c = SimConfig::spec_single_channel(Workload::Spec("429.mcf"));
+    c.mem = c.mem.with_ubanks(n_w, n_b);
+    c.warmup_cycles = 5_000;
+    c.measure_cycles = 20_000;
+    c
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(10);
+    for (name, n_w, n_b) in [("mcf_1x1", 1, 1), ("mcf_4x4", 4, 4)] {
+        let off = short(n_w, n_b);
+        let on = short(n_w, n_b).with_telemetry(TelemetryConfig::new(2_000, 16_384));
+        g.bench_with_input(BenchmarkId::new("off", name), &off, |b, cfg| {
+            b.iter(|| black_box(run(cfg)).committed)
+        });
+        g.bench_with_input(BenchmarkId::new("on", name), &on, |b, cfg| {
+            b.iter(|| black_box(run(cfg)).committed)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

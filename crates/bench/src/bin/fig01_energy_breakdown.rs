@@ -6,7 +6,10 @@ use microbank_energy::breakdown::figure1;
 
 fn main() {
     println!("Fig. 1: energy breakdown (pJ/b)");
-    println!("{:<16}{:>8}{:>10}{:>8}{:>8}{:>9}", "system", "Core", "ACT/PRE", "RD/WR", "I/O", "total");
+    println!(
+        "{:<16}{:>8}{:>10}{:>8}{:>8}{:>9}",
+        "system", "Core", "ACT/PRE", "RD/WR", "I/O", "total"
+    );
     for (kind, b) in figure1() {
         println!(
             "{:<16}{:>8.1}{:>10.1}{:>8.1}{:>8.1}{:>9.1}",

@@ -9,14 +9,23 @@ use microbank_energy::params::EnergyParams;
 
 fn main() {
     let model = AreaModel::new();
-    println!("{}", format_matrix("Fig. 6(a): relative area (model)", &model.figure6a_matrix()));
+    println!(
+        "{}",
+        format_matrix("Fig. 6(a): relative area (model)", &model.figure6a_matrix())
+    );
     let paper: Vec<Vec<f64>> = PAPER_FIG6A.iter().map(|r| r.to_vec()).collect();
-    println!("{}", format_matrix("Fig. 6(a): relative area (paper, for reference)", &paper));
+    println!(
+        "{}",
+        format_matrix("Fig. 6(a): relative area (paper, for reference)", &paper)
+    );
     for beta in [1.0, 0.1] {
         let m = figure6b_matrix(EnergyParams::lpddr_tsi(), beta);
         println!(
             "{}",
-            format_matrix(&format!("Fig. 6(b): relative energy per read, beta = {beta}"), &m)
+            format_matrix(
+                &format!("Fig. 6(b): relative energy per read, beta = {beta}"),
+                &m
+            )
         );
     }
 }

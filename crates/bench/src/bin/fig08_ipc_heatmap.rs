@@ -16,6 +16,9 @@ fn main() {
         ("(c) TPC-H", Workload::TpcH),
     ] {
         let g = ubank_grid(w, quick);
-        println!("{}", format_matrix(&format!("Fig. 8{tag}: relative IPC"), &g.rel_ipc));
+        println!(
+            "{}",
+            format_matrix(&format!("Fig. 8{tag}: relative IPC"), &g.rel_ipc)
+        );
     }
 }

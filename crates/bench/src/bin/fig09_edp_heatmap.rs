@@ -17,6 +17,9 @@ fn main() {
         ("(c) TPC-H", Workload::TpcH),
     ] {
         let g = ubank_grid(w, quick);
-        println!("{}", format_matrix(&format!("Fig. 9{tag}: relative 1/EDP"), &g.rel_inv_edp));
+        println!(
+            "{}",
+            format_matrix(&format!("Fig. 9{tag}: relative 1/EDP"), &g.rel_inv_edp)
+        );
     }
 }

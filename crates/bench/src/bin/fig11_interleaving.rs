@@ -6,7 +6,9 @@ use microbank_core::address::AddressMap;
 use microbank_core::config::MemConfig;
 
 fn print_layout(ib: u32) {
-    let cfg = MemConfig::lpddr_tsi().with_ubanks(2, 8).with_interleave_base(ib);
+    let cfg = MemConfig::lpddr_tsi()
+        .with_ubanks(2, 8)
+        .with_interleave_base(ib);
     let map = AddressMap::new(&cfg);
     println!("iB = {} (effective {}):", ib, map.interleave_base);
     for f in map.layout().iter().rev() {

@@ -21,7 +21,17 @@ fn main() {
     let rows = interface_study(&workloads, quick);
     println!(
         "{:<12}{:<11}{:>7}{:>8}{:>9} | {:>8}{:>9}{:>8}{:>7}{:>7}  {:>9}",
-        "workload", "interface", "IPC", "relIPC", "rel1/EDP", "proc", "ACT/PRE", "static", "RD/WR", "I/O", "AP-frac"
+        "workload",
+        "interface",
+        "IPC",
+        "relIPC",
+        "rel1/EDP",
+        "proc",
+        "ACT/PRE",
+        "static",
+        "RD/WR",
+        "I/O",
+        "AP-frac"
     );
     for r in rows {
         println!(

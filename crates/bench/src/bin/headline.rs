@@ -2,17 +2,36 @@
 //! baseline on the memory-intensive spec-high applications. The paper
 //! reports 1.62× IPC and 4.80× energy-delay product.
 //!
+//! Writes the summary table to `results/headline.csv` and
+//! `results/headline.json` alongside the stdout report.
+//!
 //! Usage: `headline [--quick]`
 
 use microbank_sim::experiment::headline;
+use microbank_sim::report::{summarize, summary_columns, Table};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (ipc_ratio, edp_ratio, base, ub) = headline(quick);
     println!("Headline (spec-high average):");
-    println!("  baseline  DDR3-PCB (1,1):    IPC {:.3}  MAPKI {:.1}", base.ipc, base.mapki);
-    println!("  proposed  LPDDR-TSI (4,4):   IPC {:.3}  MAPKI {:.1}", ub.ipc, ub.mapki);
+    println!(
+        "  baseline  DDR3-PCB (1,1):    IPC {:.3}  MAPKI {:.1}",
+        base.ipc, base.mapki
+    );
+    println!(
+        "  proposed  LPDDR-TSI (4,4):   IPC {:.3}  MAPKI {:.1}",
+        ub.ipc, ub.mapki
+    );
     println!();
     println!("  IPC improvement:   {ipc_ratio:.2}x   (paper: 1.62x)");
     println!("  1/EDP improvement: {edp_ratio:.2}x   (paper: 4.80x)");
+
+    let mut t = Table::new("headline", &summary_columns());
+    t.push("ddr3_pcb_1x1", summarize(&base));
+    t.push("lpddr_tsi_4x4", summarize(&ub));
+    if std::fs::create_dir_all("results").is_ok() {
+        let _ = std::fs::write("results/headline.csv", t.to_csv());
+        let _ = std::fs::write("results/headline.json", t.to_json());
+        println!("\nwrote results/headline.csv and results/headline.json");
+    }
 }

@@ -20,7 +20,10 @@ fn main() {
         );
     }
     let e = EnergyParams::lpddr_tsi();
-    println!("  ACT+PRE energy (8KB DRAM page): {:.0} nJ", e.act_pre_nj_8kb);
+    println!(
+        "  ACT+PRE energy (8KB DRAM page): {:.0} nJ",
+        e.act_pre_nj_8kb
+    );
     println!();
     println!("Timing parameters:");
     for i in [Interface::Ddr3Pcb, Interface::LpddrTsi] {

@@ -40,7 +40,9 @@ pub fn format_series(label: &str, values: &[f64]) -> String {
 mod tests {
     #[test]
     fn matrix_formatting_includes_all_cells() {
-        let m: Vec<Vec<f64>> = (0..5).map(|i| (0..5).map(|j| (i * 5 + j) as f64).collect()).collect();
+        let m: Vec<Vec<f64>> = (0..5)
+            .map(|i| (0..5).map(|j| (i * 5 + j) as f64).collect())
+            .collect();
         let s = super::format_matrix("t", &m);
         assert!(s.contains("24.000"));
         assert_eq!(s.lines().count(), 7);

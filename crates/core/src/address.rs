@@ -90,7 +90,11 @@ pub struct AddressMap {
 impl AddressMap {
     pub fn new(cfg: &MemConfig) -> Self {
         let col_bits = (cfg.ubank_cols() as u32).trailing_zeros()
-            + if cfg.ubank_cols().is_power_of_two() { 0 } else { panic!("cols not pow2") };
+            + if cfg.ubank_cols().is_power_of_two() {
+                0
+            } else {
+                panic!("cols not pow2")
+            };
         let row_bits = (cfg.ubank_rows() as u32).trailing_zeros();
         let ib = cfg
             .interleave_base
@@ -181,7 +185,10 @@ impl AddressMap {
         put(loc.w as u64, self.w_bits);
         put(loc.b as u64, self.b_bits);
         // XOR hashing is self-inverse: store bank ^ hash(row).
-        put(loc.bank as u64 ^ self.bank_hash(loc.row as u64), self.bank_bits);
+        put(
+            loc.bank as u64 ^ self.bank_hash(loc.row as u64),
+            self.bank_bits,
+        );
         put(loc.channel as u64, self.ctrl_bits);
         put(loc.rank as u64, self.rank_bits);
         put(col_hi, self.col_hi_bits);
@@ -195,7 +202,11 @@ impl AddressMap {
         let mut lsb = 0;
         let mut push = |name: &'static str, width: u32, lsb: &mut u32| {
             if width > 0 {
-                out.push(FieldSpec { name, lsb: *lsb, width });
+                out.push(FieldSpec {
+                    name,
+                    lsb: *lsb,
+                    width,
+                });
             }
             *lsb += width;
         };
@@ -240,7 +251,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn cfg(nw: usize, nb: usize, ib: u32) -> MemConfig {
-        MemConfig::lpddr_tsi().with_ubanks(nw, nb).with_interleave_base(ib)
+        MemConfig::lpddr_tsi()
+            .with_ubanks(nw, nb)
+            .with_interleave_base(ib)
     }
 
     #[test]
@@ -262,12 +275,18 @@ mod tests {
         // All 64 columns of the μbank row are consecutive addresses.
         for line in 0..c.ubank_cols() as u64 {
             let l = m.decode(line * 64);
-            assert_eq!((l.channel, l.rank, l.bank, l.w, l.b, l.row), (base.channel, base.rank, base.bank, base.w, base.b, base.row));
+            assert_eq!(
+                (l.channel, l.rank, l.bank, l.w, l.b, l.row),
+                (base.channel, base.rank, base.bank, base.w, base.b, base.row)
+            );
             assert_eq!(l.col as u64, line);
         }
         // The next line after the row boundary leaves the μbank group.
         let next = m.decode(c.ubank_cols() as u64 * 64);
-        assert_ne!((next.w, next.b, next.bank, next.channel, next.rank, next.row), (base.w, base.b, base.bank, base.channel, base.rank, base.row));
+        assert_ne!(
+            (next.w, next.b, next.bank, next.channel, next.rank, next.row),
+            (base.w, base.b, base.bank, base.channel, base.rank, base.row)
+        );
     }
 
     #[test]
@@ -321,13 +340,23 @@ mod tests {
             banks_plain.insert(plain.decode(i * row_stride).bank);
             banks_hashed.insert(hashed.decode(i * row_stride).bank);
         }
-        assert_eq!(banks_plain.len(), 1, "row stride stays in one bank unhashed");
-        assert!(banks_hashed.len() >= 8, "hashing spreads: {}", banks_hashed.len());
+        assert_eq!(
+            banks_plain.len(),
+            1,
+            "row stride stays in one bank unhashed"
+        );
+        assert!(
+            banks_hashed.len() >= 8,
+            "hashing spreads: {}",
+            banks_hashed.len()
+        );
     }
 
     #[test]
     fn xor_hash_roundtrips() {
-        let cfg = MemConfig::lpddr_tsi().with_ubanks(4, 4).with_bank_xor_hash(true);
+        let cfg = MemConfig::lpddr_tsi()
+            .with_ubanks(4, 4)
+            .with_bank_xor_hash(true);
         let m = AddressMap::new(&cfg);
         for addr in (0..(1u64 << 22)).step_by(64 * 641) {
             let loc = m.decode(addr);

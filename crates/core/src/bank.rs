@@ -72,7 +72,10 @@ impl MicrobankState {
 
     /// Issue a RD at `now`; returns the cycle the last data beat arrives.
     pub fn read(&mut self, now: Cycle, t: &Timings) -> Cycle {
-        debug_assert!(self.open_row.is_some() && now >= self.next_col, "illegal RD at {now}");
+        debug_assert!(
+            self.open_row.is_some() && now >= self.next_col,
+            "illegal RD at {now}"
+        );
         self.row_hits_open += 1;
         self.next_pre = self.next_pre.max(now + t.t_rtp);
         now + t.t_aa + t.t_burst
@@ -80,7 +83,10 @@ impl MicrobankState {
 
     /// Issue a WR at `now`; returns the cycle write data is fully latched.
     pub fn write(&mut self, now: Cycle, t: &Timings) -> Cycle {
-        debug_assert!(self.open_row.is_some() && now >= self.next_col, "illegal WR at {now}");
+        debug_assert!(
+            self.open_row.is_some() && now >= self.next_col,
+            "illegal WR at {now}"
+        );
         self.row_hits_open += 1;
         let data_end = now + t.t_cwl + t.t_burst;
         self.next_pre = self.next_pre.max(data_end + t.t_wr);

@@ -13,7 +13,21 @@ use crate::config::MemConfig;
 use crate::stats::DramStats;
 use crate::timing::Timings;
 use crate::Cycle;
+use microbank_telemetry::ChannelTelemetry;
 use std::collections::VecDeque;
+
+/// Row-buffer outcome of a request arriving for a μbank, as seen at
+/// enqueue time (the standard open-page accounting the energy model and
+/// Fig. 13 consume).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// The μbank's open row matches the request's row.
+    Hit,
+    /// The μbank holds a different open row (PRE + ACT required).
+    Conflict,
+    /// The μbank is precharged (ACT required, no PRE).
+    Closed,
+}
 
 /// Number of ACTs tracked by the tFAW sliding window.
 const FAW_ACTS: usize = 4;
@@ -77,6 +91,9 @@ pub struct Channel {
     /// Power-down idle threshold (None = disabled).
     powerdown_idle: Option<Cycle>,
     pub stats: DramStats,
+    /// Per-μbank heat counters; `None` (the default) costs one branch per
+    /// hook site.
+    pub telemetry: Option<Box<ChannelTelemetry>>,
 }
 
 impl Channel {
@@ -90,14 +107,29 @@ impl Channel {
             banks_per_rank: cfg.banks_per_rank,
             n_w: cfg.ubank.n_w,
             banks: vec![MicrobankState::new(); total],
-            ranks: (0..cfg.ranks_per_channel).map(|_| RankState::new(&t)).collect(),
+            ranks: (0..cfg.ranks_per_channel)
+                .map(|_| RankState::new(&t))
+                .collect(),
             next_cmd: 0,
             data_free: 0,
             next_col_cmd: 0,
             refresh_enabled: cfg.refresh_enabled,
             powerdown_idle: cfg.powerdown_idle,
             stats: DramStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Attach per-μbank heat counters (shape derived from the channel's
+    /// own μbank dimensions).
+    pub fn enable_telemetry(&mut self) {
+        let per_bank = self.ubanks_per_rank / self.banks_per_rank;
+        let n_b = per_bank / self.n_w;
+        self.telemetry = Some(Box::new(ChannelTelemetry::new(
+            self.banks.len(),
+            self.n_w,
+            n_b,
+        )));
     }
 
     /// The channel's timing set.
@@ -201,6 +233,34 @@ impl Channel {
         rs.last_activity = now;
         self.next_cmd = now + self.t.t_cmd;
         self.stats.activates += 1;
+        if let Some(tel) = &mut self.telemetry {
+            tel.heat.activates[flat] += 1;
+        }
+    }
+
+    /// Classify (and count) the row-buffer outcome of a request arriving
+    /// for `row` in μbank `flat`. Updates both the channel's aggregate
+    /// stats and, when telemetry is attached, the per-μbank heat counters
+    /// — one call site for both so they can never diverge.
+    pub fn classify_arrival(&mut self, flat: usize, row: u32) -> RowOutcome {
+        let outcome = match self.banks[flat].open_row {
+            Some(r) if r == row => RowOutcome::Hit,
+            Some(_) => RowOutcome::Conflict,
+            None => RowOutcome::Closed,
+        };
+        match outcome {
+            RowOutcome::Hit => self.stats.row_hits += 1,
+            RowOutcome::Conflict => self.stats.row_conflicts += 1,
+            RowOutcome::Closed => self.stats.row_closed += 1,
+        }
+        if let Some(tel) = &mut self.telemetry {
+            match outcome {
+                RowOutcome::Hit => tel.heat.row_hits[flat] += 1,
+                RowOutcome::Conflict => tel.heat.row_conflicts[flat] += 1,
+                RowOutcome::Closed => tel.heat.row_closed[flat] += 1,
+            }
+        }
+        outcome
     }
 
     /// Can a column command (RD if `!is_write`, else WR) to `row` issue?
@@ -330,14 +390,28 @@ impl Channel {
     /// All μbanks of `rank` precharged (required before REF)?
     pub fn rank_all_idle(&self, rank: usize) -> bool {
         let lo = rank * self.ubanks_per_rank;
-        self.banks[lo..lo + self.ubanks_per_rank].iter().all(|b| b.is_idle())
+        self.banks[lo..lo + self.ubanks_per_rank]
+            .iter()
+            .all(|b| b.is_idle())
     }
 
     /// Banks of `rank` that still hold an open row (must be precharged
     /// before refresh); returns flat indices.
     pub fn rank_open_banks(&self, rank: usize) -> Vec<usize> {
         let lo = rank * self.ubanks_per_rank;
-        (lo..lo + self.ubanks_per_rank).filter(|&f| !self.banks[f].is_idle()).collect()
+        (lo..lo + self.ubanks_per_rank)
+            .filter(|&f| !self.banks[f].is_idle())
+            .collect()
+    }
+
+    /// Flat indices of every μbank (all ranks) currently holding an open
+    /// row. Used at measurement boundaries: a row opened before the
+    /// boundary and precharged after it must be attributed to one side
+    /// consistently for ACT/PRE accounting to balance.
+    pub fn open_ubanks(&self) -> Vec<usize> {
+        (0..self.banks.len())
+            .filter(|&f| self.banks[f].open_row.is_some())
+            .collect()
     }
 
     /// Issue an all-bank refresh to `rank`. All banks must be idle.
@@ -426,13 +500,23 @@ mod tests {
     use crate::config::MemConfig;
 
     fn setup(nw: usize, nb: usize) -> (MemConfig, Channel) {
-        let cfg = MemConfig::lpddr_tsi().with_ubanks(nw, nb).with_refresh(false);
+        let cfg = MemConfig::lpddr_tsi()
+            .with_ubanks(nw, nb)
+            .with_refresh(false);
         let ch = Channel::new(&cfg);
         (cfg, ch)
     }
 
     fn loc(bank: u8, w: u8, b: u8, row: u32) -> Location {
-        Location { channel: 0, rank: 0, bank, w, b, row, col: 0 }
+        Location {
+            channel: 0,
+            rank: 0,
+            bank,
+            w,
+            b,
+            row,
+            col: 0,
+        }
     }
 
     #[test]
@@ -525,7 +609,10 @@ mod tests {
         while !ch.can_column_flat(fa, 0, false, r_at) {
             r_at += 1;
         }
-        assert!(r_at >= w_done + t.t_wtr, "RD at {r_at} before tWTR after {w_done}");
+        assert!(
+            r_at >= w_done + t.t_wtr,
+            "RD at {r_at} before tWTR after {w_done}"
+        );
     }
 
     #[test]

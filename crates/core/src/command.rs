@@ -60,13 +60,28 @@ mod tests {
     use super::*;
 
     fn loc() -> Location {
-        Location { channel: 3, rank: 0, bank: 1, w: 0, b: 2, row: 7, col: 5 }
+        Location {
+            channel: 3,
+            rank: 0,
+            bank: 1,
+            w: 0,
+            b: 2,
+            row: 7,
+            col: 5,
+        }
     }
 
     #[test]
     fn channel_extraction() {
         assert_eq!(DramCommand::Activate(loc()).channel(), 3);
-        assert_eq!(DramCommand::Refresh { channel: 9, rank: 1 }.channel(), 9);
+        assert_eq!(
+            DramCommand::Refresh {
+                channel: 9,
+                rank: 1
+            }
+            .channel(),
+            9
+        );
     }
 
     #[test]
@@ -80,6 +95,13 @@ mod tests {
     #[test]
     fn mnemonics() {
         assert_eq!(DramCommand::Precharge(loc()).mnemonic(), "PRE");
-        assert_eq!(DramCommand::Refresh { channel: 0, rank: 0 }.mnemonic(), "REF");
+        assert_eq!(
+            DramCommand::Refresh {
+                channel: 0,
+                rank: 0
+            }
+            .mnemonic(),
+            "REF"
+        );
     }
 }

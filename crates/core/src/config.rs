@@ -270,7 +270,10 @@ mod tests {
     fn capacity_independent_of_partitioning() {
         let base = MemConfig::lpddr_tsi().capacity_bytes();
         for &(nw, nb) in &[(2usize, 8usize), (16, 16), (8, 2)] {
-            assert_eq!(MemConfig::lpddr_tsi().with_ubanks(nw, nb).capacity_bytes(), base);
+            assert_eq!(
+                MemConfig::lpddr_tsi().with_ubanks(nw, nb).capacity_bytes(),
+                base
+            );
         }
     }
 

@@ -23,7 +23,13 @@ impl Default for Histogram {
 
 impl Histogram {
     pub fn new() -> Self {
-        Histogram { buckets: vec![0; 64], count: 0, sum: 0, min: u64::MAX, max: 0 }
+        Histogram {
+            buckets: vec![0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
     }
 
     fn bucket_of(v: u64) -> usize {
@@ -33,7 +39,10 @@ impl Histogram {
     pub fn record(&mut self, v: u64) {
         self.buckets[Self::bucket_of(v)] += 1;
         self.count += 1;
-        self.sum += v;
+        // Saturate rather than overflow: samples near u64::MAX (e.g. a
+        // sentinel that leaked into a latency path) must not panic the
+        // accounting; the mean degrades gracefully instead.
+        self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -85,7 +94,7 @@ impl Histogram {
             *a += b;
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }

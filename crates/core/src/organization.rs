@@ -104,7 +104,10 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(Organization::Salp { subarrays: 4 }.label(), "SALP-4");
-        assert_eq!(Organization::Microbank { n_w: 2, n_b: 8 }.label(), "ubank(2,8)");
+        assert_eq!(
+            Organization::Microbank { n_w: 2, n_b: 8 }.label(),
+            "ubank(2,8)"
+        );
         assert_eq!(Organization::Conventional.label(), "conventional");
         assert_eq!(Organization::HalfDram.label(), "Half-DRAM");
     }
@@ -113,7 +116,9 @@ mod tests {
     fn comparison_set_covers_the_design_space() {
         let set = Organization::comparison_set();
         assert!(set.contains(&Organization::Conventional));
-        assert!(set.iter().any(|o| !o.reduces_activation_energy() && o.row_buffers_per_bank() > 1));
+        assert!(set
+            .iter()
+            .any(|o| !o.reduces_activation_energy() && o.row_buffers_per_bank() > 1));
         assert!(set.iter().any(|o| o.reduces_activation_energy()));
     }
 }

@@ -43,7 +43,15 @@ impl MemRequest {
             kind,
             thread,
             arrival,
-            loc: Location { channel: 0, rank: 0, bank: 0, w: 0, b: 0, row: 0, col: 0 },
+            loc: Location {
+                channel: 0,
+                rank: 0,
+                bank: 0,
+                w: 0,
+                b: 0,
+                row: 0,
+                col: 0,
+            },
         }
     }
 

@@ -81,8 +81,17 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = DramStats { activates: 1, reads: 2, ..Default::default() };
-        let b = DramStats { activates: 3, writes: 5, row_hits: 7, ..Default::default() };
+        let mut a = DramStats {
+            activates: 1,
+            reads: 2,
+            ..Default::default()
+        };
+        let b = DramStats {
+            activates: 3,
+            writes: 5,
+            row_hits: 7,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.activates, 4);
         assert_eq!(a.reads, 2);
@@ -93,14 +102,23 @@ mod tests {
 
     #[test]
     fn beta_definition() {
-        let s = DramStats { activates: 10, reads: 80, writes: 20, ..Default::default() };
+        let s = DramStats {
+            activates: 10,
+            reads: 80,
+            writes: 20,
+            ..Default::default()
+        };
         assert!((s.beta() - 0.1).abs() < 1e-12);
     }
 
     #[test]
     fn hit_rate_handles_empty() {
         assert_eq!(DramStats::default().row_hit_rate(), 0.0);
-        let s = DramStats { row_hits: 3, row_closed: 1, ..Default::default() };
+        let s = DramStats {
+            row_hits: 3,
+            row_closed: 1,
+            ..Default::default()
+        };
         assert!((s.row_hit_rate() - 0.75).abs() < 1e-12);
     }
 }

@@ -41,7 +41,14 @@ fn random_drive(cfg: &MemConfig, seed: u64, steps: usize) -> (Vec<(Cycle, Cmd)>,
             0 => {
                 if ch.can_activate_flat(flat, now) {
                     ch.activate_flat(flat, loc.row, now);
-                    trace.push((now, Cmd::Act { flat, rank, row: loc.row }));
+                    trace.push((
+                        now,
+                        Cmd::Act {
+                            flat,
+                            rank,
+                            row: loc.row,
+                        },
+                    ));
                 }
             }
             1 => {
@@ -67,7 +74,7 @@ fn random_drive(cfg: &MemConfig, seed: u64, steps: usize) -> (Vec<(Cycle, Cmd)>,
                 }
             }
         }
-        now += rng.gen_range(1..4);
+        now += rng.gen_range(1..4u64);
     }
     (trace, t)
 }

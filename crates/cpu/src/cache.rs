@@ -10,7 +10,9 @@ use microbank_core::CACHE_LINE_BITS;
 pub enum AccessResult {
     Hit,
     /// Miss; if a line was evicted, its address and dirtiness.
-    Miss { victim: Option<Victim> },
+    Miss {
+        victim: Option<Victim>,
+    },
 }
 
 /// An evicted line.
@@ -92,15 +94,29 @@ impl Cache {
         self.misses += 1;
         // Victim: invalid way if any, else LRU.
         let victim_idx = (base..base + self.assoc)
-            .min_by_key(|&i| if self.ways[i].valid { self.ways[i].lru } else { 0 })
+            .min_by_key(|&i| {
+                if self.ways[i].valid {
+                    self.ways[i].lru
+                } else {
+                    0
+                }
+            })
             .unwrap();
         let w = self.ways[victim_idx];
         let victim = if w.valid {
-            Some(Victim { addr: self.line_addr(set, w.tag), dirty: w.dirty })
+            Some(Victim {
+                addr: self.line_addr(set, w.tag),
+                dirty: w.dirty,
+            })
         } else {
             None
         };
-        self.ways[victim_idx] = Way { tag, valid: true, dirty: is_write, lru: self.tick };
+        self.ways[victim_idx] = Way {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: self.tick,
+        };
         AccessResult::Miss { victim }
     }
 
@@ -121,15 +137,29 @@ impl Cache {
             }
         }
         let victim_idx = (base..base + self.assoc)
-            .min_by_key(|&i| if self.ways[i].valid { self.ways[i].lru } else { 0 })
+            .min_by_key(|&i| {
+                if self.ways[i].valid {
+                    self.ways[i].lru
+                } else {
+                    0
+                }
+            })
             .unwrap();
         let w = self.ways[victim_idx];
         let victim = if w.valid {
-            Some(Victim { addr: self.line_addr(set, w.tag), dirty: w.dirty })
+            Some(Victim {
+                addr: self.line_addr(set, w.tag),
+                dirty: w.dirty,
+            })
         } else {
             None
         };
-        self.ways[victim_idx] = Way { tag, valid: true, dirty, lru: self.tick };
+        self.ways[victim_idx] = Way {
+            tag,
+            valid: true,
+            dirty,
+            lru: self.tick,
+        };
         victim
     }
 
@@ -195,7 +225,10 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut c = l1();
-        assert!(matches!(c.access(0x1000, false), AccessResult::Miss { victim: None }));
+        assert!(matches!(
+            c.access(0x1000, false),
+            AccessResult::Miss { victim: None }
+        ));
         assert_eq!(c.access(0x1000, false), AccessResult::Hit);
         assert_eq!(c.access(0x1004, false), AccessResult::Hit, "same line");
         assert_eq!(c.hits, 2);

@@ -35,7 +35,10 @@ pub enum CoherenceAction {
     /// Cache-to-cache transfer from `owner`'s L2. `demote_writeback` is
     /// true when a modified owner is demoted to shared and its dirty data
     /// must also be written back to memory.
-    ForwardFromOwner { owner: usize, demote_writeback: bool },
+    ForwardFromOwner {
+        owner: usize,
+        demote_writeback: bool,
+    },
 }
 
 /// Clusters whose copies must be invalidated before a write proceeds.
@@ -63,7 +66,13 @@ impl Directory {
         let bit = 1u64 << cluster;
         match self.entries.get_mut(&line) {
             None => {
-                self.entries.insert(line, DirEntry { state: LineState::Shared, sharers: bit });
+                self.entries.insert(
+                    line,
+                    DirEntry {
+                        state: LineState::Shared,
+                        sharers: bit,
+                    },
+                );
                 CoherenceAction::FetchFromMemory
             }
             Some(e) => match e.state {
@@ -81,7 +90,10 @@ impl Directory {
                         CoherenceAction::FetchFromMemory
                     } else {
                         self.forwards += 1;
-                        CoherenceAction::ForwardFromOwner { owner, demote_writeback: false }
+                        CoherenceAction::ForwardFromOwner {
+                            owner,
+                            demote_writeback: false,
+                        }
                     }
                 }
                 LineState::Modified => {
@@ -93,7 +105,10 @@ impl Directory {
                         CoherenceAction::FetchFromMemory
                     } else {
                         self.forwards += 1;
-                        CoherenceAction::ForwardFromOwner { owner, demote_writeback: true }
+                        CoherenceAction::ForwardFromOwner {
+                            owner,
+                            demote_writeback: true,
+                        }
                     }
                 }
             },
@@ -104,17 +119,20 @@ impl Directory {
     /// and the set of clusters to invalidate (excluding the requester).
     pub fn write_miss(&mut self, line: u64, cluster: usize) -> (CoherenceAction, Invalidations) {
         let bit = 1u64 << cluster;
-        let e = self
-            .entries
-            .entry(line)
-            .or_insert(DirEntry { state: LineState::Uncached, sharers: 0 });
+        let e = self.entries.entry(line).or_insert(DirEntry {
+            state: LineState::Uncached,
+            sharers: 0,
+        });
         let others = e.sharers & !bit;
         let action = match e.state {
             LineState::Uncached => CoherenceAction::FetchFromMemory,
             LineState::Shared => {
                 if e.sharers & bit != 0 {
                     // Upgrade: data already local.
-                    CoherenceAction::ForwardFromOwner { owner: cluster, demote_writeback: false }
+                    CoherenceAction::ForwardFromOwner {
+                        owner: cluster,
+                        demote_writeback: false,
+                    }
                 } else if others != 0 {
                     self.forwards += 1;
                     CoherenceAction::ForwardFromOwner {
@@ -128,7 +146,10 @@ impl Directory {
             LineState::Modified => {
                 if others == 0 {
                     // Already the modified owner (silent upgrade).
-                    CoherenceAction::ForwardFromOwner { owner: cluster, demote_writeback: false }
+                    CoherenceAction::ForwardFromOwner {
+                        owner: cluster,
+                        demote_writeback: false,
+                    }
                 } else {
                     self.forwards += 1;
                     // Dirty ownership migrates; no memory writeback needed.
@@ -177,7 +198,10 @@ impl Directory {
         for (&line, e) in &self.entries {
             match e.state {
                 LineState::Modified if e.sharers.count_ones() != 1 => {
-                    return Err(format!("line {line:#x}: modified with {} sharers", e.sharers.count_ones()));
+                    return Err(format!(
+                        "line {line:#x}: modified with {} sharers",
+                        e.sharers.count_ones()
+                    ));
                 }
                 LineState::Shared if e.sharers == 0 => {
                     return Err(format!("line {line:#x}: shared with no sharers"));
@@ -210,7 +234,13 @@ mod tests {
         let mut d = Directory::new();
         d.read_miss(0x40, 0);
         let a = d.read_miss(0x40, 3);
-        assert_eq!(a, CoherenceAction::ForwardFromOwner { owner: 0, demote_writeback: false });
+        assert_eq!(
+            a,
+            CoherenceAction::ForwardFromOwner {
+                owner: 0,
+                demote_writeback: false
+            }
+        );
         assert_eq!(d.state_of(0x40), (LineState::Shared, 0b1001));
         assert_eq!(d.forwards, 1);
     }
@@ -233,7 +263,13 @@ mod tests {
         let mut d = Directory::new();
         d.write_miss(0x40, 2);
         let a = d.read_miss(0x40, 5);
-        assert_eq!(a, CoherenceAction::ForwardFromOwner { owner: 2, demote_writeback: true });
+        assert_eq!(
+            a,
+            CoherenceAction::ForwardFromOwner {
+                owner: 2,
+                demote_writeback: true
+            }
+        );
         assert_eq!(d.state_of(0x40), (LineState::Shared, (1 << 2) | (1 << 5)));
         d.check_invariants().unwrap();
     }
@@ -243,7 +279,13 @@ mod tests {
         let mut d = Directory::new();
         d.write_miss(0x40, 0);
         let (a, inv) = d.write_miss(0x40, 7);
-        assert_eq!(a, CoherenceAction::ForwardFromOwner { owner: 0, demote_writeback: false });
+        assert_eq!(
+            a,
+            CoherenceAction::ForwardFromOwner {
+                owner: 0,
+                demote_writeback: false
+            }
+        );
         assert_eq!(inv, 1);
         assert_eq!(d.state_of(0x40), (LineState::Modified, 1 << 7));
         d.check_invariants().unwrap();
@@ -272,7 +314,13 @@ mod tests {
         let mut d = Directory::new();
         d.read_miss(0x40, 3);
         let (a, inv) = d.write_miss(0x40, 3);
-        assert_eq!(a, CoherenceAction::ForwardFromOwner { owner: 3, demote_writeback: false });
+        assert_eq!(
+            a,
+            CoherenceAction::ForwardFromOwner {
+                owner: 3,
+                demote_writeback: false
+            }
+        );
         assert_eq!(inv, 0);
     }
 }

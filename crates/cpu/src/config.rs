@@ -71,7 +71,10 @@ impl CmpConfig {
 
     /// A small platform for fast unit tests.
     pub fn small(cores: usize) -> Self {
-        CmpConfig { cores, ..Self::default() }
+        CmpConfig {
+            cores,
+            ..Self::default()
+        }
     }
 
     pub fn clusters(&self) -> usize {

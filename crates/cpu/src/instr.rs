@@ -37,7 +37,12 @@ impl FixedSource {
     /// cycling through `addrs`.
     pub fn new(addrs: Vec<u64>, period: u64) -> Self {
         assert!(period >= 1);
-        FixedSource { addrs, period, counter: 0, idx: 0 }
+        FixedSource {
+            addrs,
+            period,
+            counter: 0,
+            idx: 0,
+        }
     }
 }
 
@@ -47,7 +52,10 @@ impl InstrSource for FixedSource {
         if self.counter.is_multiple_of(self.period) && !self.addrs.is_empty() {
             let a = self.addrs[self.idx];
             self.idx = (self.idx + 1) % self.addrs.len();
-            Instr::Mem { addr: a, is_write: false }
+            Instr::Mem {
+                addr: a,
+                is_write: false,
+            }
         } else {
             Instr::Compute
         }
@@ -62,9 +70,24 @@ mod tests {
     fn fixed_source_period() {
         let mut s = FixedSource::new(vec![0x40, 0x80], 4);
         let instrs: Vec<Instr> = (0..8).map(|_| s.next_instr()).collect();
-        let mems = instrs.iter().filter(|i| matches!(i, Instr::Mem { .. })).count();
+        let mems = instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Mem { .. }))
+            .count();
         assert_eq!(mems, 2);
-        assert_eq!(instrs[3], Instr::Mem { addr: 0x40, is_write: false });
-        assert_eq!(instrs[7], Instr::Mem { addr: 0x80, is_write: false });
+        assert_eq!(
+            instrs[3],
+            Instr::Mem {
+                addr: 0x40,
+                is_write: false
+            }
+        );
+        assert_eq!(
+            instrs[7],
+            Instr::Mem {
+                addr: 0x80,
+                is_write: false
+            }
+        );
     }
 }

@@ -26,7 +26,11 @@ pub struct MshrFile {
 
 impl MshrFile {
     pub fn new(capacity: usize) -> Self {
-        MshrFile { capacity, entries: HashMap::new(), merges: 0 }
+        MshrFile {
+            capacity,
+            entries: HashMap::new(),
+            merges: 0,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -69,7 +73,11 @@ impl MshrFile {
         debug_assert!(!self.entries.contains_key(&line));
         self.entries.insert(
             line,
-            MshrEntry { line, waiters: waiter.into_iter().collect(), write_intent: is_write },
+            MshrEntry {
+                line,
+                waiters: waiter.into_iter().collect(),
+                write_intent: is_write,
+            },
         );
         true
     }

@@ -21,7 +21,12 @@ pub struct StreamPrefetcher {
 
 impl StreamPrefetcher {
     pub fn new(degree: usize) -> Self {
-        StreamPrefetcher { degree, last_miss: None, streak: 0, issued: 0 }
+        StreamPrefetcher {
+            degree,
+            last_miss: None,
+            streak: 0,
+            issued: 0,
+        }
     }
 
     pub fn enabled(&self) -> bool {

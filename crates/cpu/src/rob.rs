@@ -116,7 +116,9 @@ impl Core {
             };
             match instr {
                 Instr::Compute => {
-                    self.rob.push_back(RobEntry { ready_at: Some(now + self.alu_latency) });
+                    self.rob.push_back(RobEntry {
+                        ready_at: Some(now + self.alu_latency),
+                    });
                     self.next_seq += 1;
                 }
                 Instr::Mem { addr, is_write } => {

@@ -90,7 +90,12 @@ impl Uncore {
 
     /// Send (or queue) a posted memory write.
     fn post_write(&mut self, line: u64, thread: u16, now: Cycle, port: &mut dyn MemPort) {
-        let req = SubmittedReq { id: self.next_id, addr: line, is_write: true, thread };
+        let req = SubmittedReq {
+            id: self.next_id,
+            addr: line,
+            is_write: true,
+            thread,
+        };
         self.next_id += 1;
         self.stats.dram_writes += 1;
         if !self.backlog.is_empty() || !port.submit(req, now) {
@@ -192,13 +197,23 @@ impl Uncore {
             self.next_id += 1;
             self.inflight.insert(
                 id,
-                PendingMem { line: pf, cluster, waiters: Vec::new(), write_intent: false },
+                PendingMem {
+                    line: pf,
+                    cluster,
+                    waiters: Vec::new(),
+                    write_intent: false,
+                },
             );
             self.pending_by_line.insert(pf, id);
             self.prefetched.insert((cluster, pf));
             self.stats.prefetches += 1;
             self.stats.dram_reads += 1;
-            let req = SubmittedReq { id, addr: pf, is_write: false, thread: core as u16 };
+            let req = SubmittedReq {
+                id,
+                addr: pf,
+                is_write: false,
+                thread: core as u16,
+            };
             if !self.backlog.is_empty() || !port.submit(req, now) {
                 self.backlog.push_back(req);
             }
@@ -221,13 +236,13 @@ impl Uncore {
         let cfg = self.cfg;
         let line = Self::line_of(addr);
         let store_done = now + cfg.l1_latency; // posted stores never block
-        // L1 hit.
+                                               // L1 hit.
         if self.l1[core].contains(line) {
             self.l1[core].access(line, is_write);
             return MemOutcome::ReadyAt(now + cfg.l1_latency);
         }
         self.l1[core].misses += 1; // classified miss (fill path below)
-        // L2 hit.
+                                   // L2 hit.
         if self.l2[cluster].contains(line) {
             if self.prefetched.remove(&(cluster, line)) {
                 self.stats.prefetch_hits += 1;
@@ -261,7 +276,11 @@ impl Uncore {
                     p.waiters.push((core, seq));
                 }
                 p.write_intent |= is_write;
-                return if is_write { MemOutcome::ReadyAt(store_done) } else { MemOutcome::Pending };
+                return if is_write {
+                    MemOutcome::ReadyAt(store_done)
+                } else {
+                    MemOutcome::Pending
+                };
             }
             // Different cluster racing on the same line: rare; let it go
             // through the directory as its own transaction below.
@@ -278,7 +297,10 @@ impl Uncore {
         };
         self.apply_invalidations(line, inv, now, port);
         match action {
-            CoherenceAction::ForwardFromOwner { owner, demote_writeback } => {
+            CoherenceAction::ForwardFromOwner {
+                owner,
+                demote_writeback,
+            } => {
                 self.stats.forwards += 1;
                 if demote_writeback {
                     self.l2[owner].clean(line);
@@ -307,16 +329,37 @@ impl Uncore {
                 }
                 let id = self.next_id;
                 self.next_id += 1;
-                let waiters = if is_write { Vec::new() } else { vec![(core, seq)] };
-                self.inflight.insert(id, PendingMem { line, cluster, waiters, write_intent: is_write });
+                let waiters = if is_write {
+                    Vec::new()
+                } else {
+                    vec![(core, seq)]
+                };
+                self.inflight.insert(
+                    id,
+                    PendingMem {
+                        line,
+                        cluster,
+                        waiters,
+                        write_intent: is_write,
+                    },
+                );
                 self.pending_by_line.insert(line, id);
-                let req = SubmittedReq { id, addr: line, is_write: false, thread: core as u16 };
+                let req = SubmittedReq {
+                    id,
+                    addr: line,
+                    is_write: false,
+                    thread: core as u16,
+                };
                 self.stats.dram_reads += 1;
                 if !self.backlog.is_empty() || !port.submit(req, now) {
                     self.backlog.push_back(req);
                 }
                 self.issue_prefetches(core, cluster, line, now, port);
-                if is_write { MemOutcome::ReadyAt(store_done) } else { MemOutcome::Pending }
+                if is_write {
+                    MemOutcome::ReadyAt(store_done)
+                } else {
+                    MemOutcome::Pending
+                }
             }
         }
     }
@@ -344,9 +387,15 @@ impl<S: InstrSource> CmpSystem<S> {
             sources,
             uncore: Uncore {
                 cfg,
-                l1: (0..cfg.cores).map(|_| Cache::new(cfg.l1_bytes, cfg.l1_assoc)).collect(),
-                l2: (0..clusters).map(|_| Cache::new(cfg.l2_bytes, cfg.l2_assoc)).collect(),
-                mshr: (0..cfg.cores).map(|_| MshrFile::new(cfg.mshrs_per_core)).collect(),
+                l1: (0..cfg.cores)
+                    .map(|_| Cache::new(cfg.l1_bytes, cfg.l1_assoc))
+                    .collect(),
+                l2: (0..clusters)
+                    .map(|_| Cache::new(cfg.l2_bytes, cfg.l2_assoc))
+                    .collect(),
+                mshr: (0..cfg.cores)
+                    .map(|_| MshrFile::new(cfg.mshrs_per_core))
+                    .collect(),
                 prefetchers: (0..cfg.cores)
                     .map(|_| StreamPrefetcher::new(cfg.prefetch_degree))
                     .collect(),
@@ -390,14 +439,16 @@ impl<S: InstrSource> CmpSystem<S> {
         };
         self.uncore.pending_by_line.remove(&p.line);
         if let Some(v) = self.uncore.l2[p.cluster].fill(p.line, p.write_intent) {
-            self.uncore.handle_l2_victim(p.cluster, v.addr, v.dirty, 0, now, port);
+            self.uncore
+                .handle_l2_victim(p.cluster, v.addr, v.dirty, 0, now, port);
         }
         let ready = now + self.cfg.l2_latency;
         for &(core, seq) in &p.waiters {
             if let Some(v) = self.uncore.l1[core].fill(p.line, false) {
                 if v.dirty {
                     if let Some(v2) = self.uncore.l2[p.cluster].fill(v.addr, true) {
-                        self.uncore.handle_l2_victim(p.cluster, v2.addr, v2.dirty, 0, now, port);
+                        self.uncore
+                            .handle_l2_victim(p.cluster, v2.addr, v2.dirty, 0, now, port);
                     }
                 }
             }
@@ -471,6 +522,13 @@ impl<S: InstrSource> CmpSystem<S> {
     pub fn inflight_fills(&self) -> usize {
         self.uncore.inflight.len()
     }
+
+    /// Requests waiting to be resubmitted because a controller queue was
+    /// full — back-pressure the epoch sampler reports alongside controller
+    /// queue occupancy.
+    pub fn backlog_len(&self) -> usize {
+        self.uncore.backlog.len()
+    }
 }
 
 #[cfg(test)]
@@ -488,7 +546,12 @@ mod tests {
 
     impl TestMemory {
         fn new(delay: Cycle) -> Self {
-            TestMemory { delay, pending: Vec::new(), accepted: 0, reject_all: false }
+            TestMemory {
+                delay,
+                pending: Vec::new(),
+                accepted: 0,
+                reject_all: false,
+            }
         }
 
         fn due(&mut self, now: Cycle) -> Vec<u64> {
@@ -558,7 +621,10 @@ mod tests {
             run(&mut sys, &mut mem, 20_000);
             *out = sys.ipc(20_000);
         }
-        assert!(fast_ipc > 1.5 * slow_ipc, "fast {fast_ipc} vs slow {slow_ipc}");
+        assert!(
+            fast_ipc > 1.5 * slow_ipc,
+            "fast {fast_ipc} vs slow {slow_ipc}"
+        );
     }
 
     #[test]
@@ -621,9 +687,10 @@ mod tests {
         impl InstrSource for W {
             fn next_instr(&mut self) -> crate::instr::Instr {
                 match self.0.next_instr() {
-                    crate::instr::Instr::Mem { addr, .. } => {
-                        crate::instr::Instr::Mem { addr, is_write: true }
-                    }
+                    crate::instr::Instr::Mem { addr, .. } => crate::instr::Instr::Mem {
+                        addr,
+                        is_write: true,
+                    },
                     other => other,
                 }
             }
@@ -633,10 +700,17 @@ mod tests {
         let mut sources: Vec<W> = Vec::new();
         for i in 0..8 {
             if i == 4 {
-                sources.push(W(std::mem::replace(&mut write_src, FixedSource::new(vec![], 2))));
+                sources.push(W(std::mem::replace(
+                    &mut write_src,
+                    FixedSource::new(vec![], 2),
+                )));
             } else {
                 sources.push(W(FixedSource::new(
-                    if i == 0 { read_src.addrs.clone() } else { vec![] },
+                    if i == 0 {
+                        read_src.addrs.clone()
+                    } else {
+                        vec![]
+                    },
                     if i == 0 { 2 } else { u64::MAX / 2 },
                 )));
             }

@@ -18,7 +18,11 @@ struct RefCache {
 impl RefCache {
     fn new(bytes: usize, assoc: usize) -> Self {
         let sets = bytes / 64 / assoc;
-        RefCache { sets, assoc, data: HashMap::new() }
+        RefCache {
+            sets,
+            assoc,
+            data: HashMap::new(),
+        }
     }
 
     fn access(&mut self, addr: u64, is_write: bool) -> bool {

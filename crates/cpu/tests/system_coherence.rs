@@ -19,7 +19,13 @@ impl Script {
     }
 
     fn reads(addrs: &[u64]) -> Vec<Instr> {
-        addrs.iter().map(|&a| Instr::Mem { addr: a, is_write: false }).collect()
+        addrs
+            .iter()
+            .map(|&a| Instr::Mem {
+                addr: a,
+                is_write: false,
+            })
+            .collect()
     }
 }
 
@@ -43,7 +49,12 @@ struct FixedMem {
 
 impl FixedMem {
     fn new(delay: u64) -> Self {
-        FixedMem { delay, pending: Vec::new(), reads_seen: Vec::new(), writes_seen: Vec::new() }
+        FixedMem {
+            delay,
+            pending: Vec::new(),
+            reads_seen: Vec::new(),
+            writes_seen: Vec::new(),
+        }
     }
 }
 
@@ -62,7 +73,8 @@ impl MemPort for FixedMem {
 fn run(sys: &mut CmpSystem<Script>, mem: &mut FixedMem, cycles: u64) {
     for now in 0..cycles {
         let due: Vec<u64> = {
-            let (ready, rest): (Vec<_>, Vec<_>) = mem.pending.drain(..).partition(|&(_, t)| t <= now);
+            let (ready, rest): (Vec<_>, Vec<_>) =
+                mem.pending.drain(..).partition(|&(_, t)| t <= now);
             mem.pending = rest;
             ready.into_iter().map(|(id, _)| id).collect()
         };
@@ -77,7 +89,9 @@ fn run(sys: &mut CmpSystem<Script>, mem: &mut FixedMem, cycles: u64) {
 fn same_line_fetched_once_per_cluster_not_per_core() {
     // Cores 0..3 share a cluster: four readers of one line → one DRAM read.
     let line = 0x8000u64;
-    let sources = (0..4).map(|_| Script::new(Script::reads(&[line]))).collect();
+    let sources = (0..4)
+        .map(|_| Script::new(Script::reads(&[line])))
+        .collect();
     let mut sys = CmpSystem::new(CmpConfig::small(4), sources);
     let mut mem = FixedMem::new(50);
     run(&mut sys, &mut mem, 2000);
@@ -102,7 +116,11 @@ fn second_cluster_gets_cache_to_cache_forward() {
     let mut sys = CmpSystem::new(CmpConfig::small(8), sources);
     let mut mem = FixedMem::new(50);
     run(&mut sys, &mut mem, 5000);
-    assert_eq!(mem.reads_seen.iter().filter(|&&a| a == line).count(), 1, "one memory fetch");
+    assert_eq!(
+        mem.reads_seen.iter().filter(|&&a| a == line).count(),
+        1,
+        "one memory fetch"
+    );
     assert!(sys.stats().forwards >= 1, "no forward recorded");
     assert_eq!(sys.core(0).stats.loads, 1);
     assert_eq!(sys.core(4).stats.loads, 1);
@@ -123,7 +141,10 @@ fn writer_invalidates_reader_and_next_read_refetches() {
     });
     sources[4] = Script::new({
         let mut v = vec![Instr::Compute; 800];
-        v.push(Instr::Mem { addr: line, is_write: true });
+        v.push(Instr::Mem {
+            addr: line,
+            is_write: true,
+        });
         v
     });
     let mut sys = CmpSystem::new(CmpConfig::small(8), sources);
@@ -144,7 +165,10 @@ fn prefetcher_covers_sequential_streams() {
     let addrs: Vec<u64> = (0..512u64).map(|i| i * 64).collect();
     let mut spaced = Vec::new();
     for a in &addrs {
-        spaced.push(Instr::Mem { addr: *a, is_write: false });
+        spaced.push(Instr::Mem {
+            addr: *a,
+            is_write: false,
+        });
         spaced.extend(vec![Instr::Compute; 30]);
     }
     let mk = |degree: usize| {
@@ -158,8 +182,16 @@ fn prefetcher_covers_sequential_streams() {
     let (sys_off, _) = mk(0);
     let (sys_on, _) = mk(4);
     assert_eq!(sys_off.stats().prefetches, 0);
-    assert!(sys_on.stats().prefetches > 100, "{}", sys_on.stats().prefetches);
-    assert!(sys_on.stats().prefetch_hits > 50, "{}", sys_on.stats().prefetch_hits);
+    assert!(
+        sys_on.stats().prefetches > 100,
+        "{}",
+        sys_on.stats().prefetches
+    );
+    assert!(
+        sys_on.stats().prefetch_hits > 50,
+        "{}",
+        sys_on.stats().prefetch_hits
+    );
     // Coverage shows as higher L2 hit rate for the demand stream.
     assert!(
         sys_on.l2_hit_rate() > sys_off.l2_hit_rate() + 0.2,
@@ -176,7 +208,10 @@ fn prefetcher_stays_quiet_on_random_access() {
     let mut state = 99u64;
     for _ in 0..256 {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-        rnd.push(Instr::Mem { addr: (state >> 12) % (1 << 24) & !63, is_write: false });
+        rnd.push(Instr::Mem {
+            addr: ((state >> 12) % (1 << 24)) & !63,
+            is_write: false,
+        });
         rnd.extend(vec![Instr::Compute; 20]);
     }
     let mut cfg = CmpConfig::small(1);
@@ -199,8 +234,13 @@ fn dirty_l2_eviction_writes_back_to_memory() {
     cfg.l2_bytes = 64 * 1024;
     cfg.l1_bytes = 4 * 1024;
     let addrs: Vec<u64> = (0..4096u64).map(|i| i * 4096).collect();
-    let writes: Vec<Instr> =
-        addrs.iter().map(|&a| Instr::Mem { addr: a, is_write: true }).collect();
+    let writes: Vec<Instr> = addrs
+        .iter()
+        .map(|&a| Instr::Mem {
+            addr: a,
+            is_write: true,
+        })
+        .collect();
     let mut sys = CmpSystem::new(cfg, vec![Script::new(writes)]);
     let mut mem = FixedMem::new(30);
     run(&mut sys, &mut mem, 200_000);

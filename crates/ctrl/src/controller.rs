@@ -18,6 +18,7 @@ use microbank_core::channel::Channel;
 use microbank_core::config::MemConfig;
 use microbank_core::request::MemRequest;
 use microbank_core::Cycle;
+use microbank_telemetry::{CmdKind, CmdRecord, CmdTrace};
 
 /// A finished memory request, reported back to the CPU model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,7 +96,10 @@ pub struct WriteDrain {
 impl WriteDrain {
     /// Watermarks scaled to the paper's 32-entry queue.
     pub fn default_for_queue(queue_size: usize) -> Self {
-        WriteDrain { hi: (queue_size * 3) / 4, lo: queue_size / 4 }
+        WriteDrain {
+            hi: (queue_size * 3) / 4,
+            lo: queue_size / 4,
+        }
     }
 }
 
@@ -123,10 +127,20 @@ pub struct MemoryController {
     completions: Vec<Completion>,
     scratch: Vec<Candidate>,
     pub stats: CtrlStats,
+    /// This controller's channel index, stamped into trace records.
+    channel_id: u16,
+    /// Bounded command trace; `None` (the default) costs one branch per
+    /// issued command.
+    pub trace: Option<Box<CmdTrace>>,
 }
 
 impl MemoryController {
-    pub fn new(cfg: &MemConfig, scheduler: SchedulerKind, policy: PolicyKind, threads: usize) -> Self {
+    pub fn new(
+        cfg: &MemConfig,
+        scheduler: SchedulerKind,
+        policy: PolicyKind,
+        threads: usize,
+    ) -> Self {
         let n = cfg.ubanks_per_channel();
         let predictor = match policy {
             PolicyKind::Predictive(PredictorKind::Local) => {
@@ -158,6 +172,33 @@ impl MemoryController {
             completions: Vec::new(),
             scratch: Vec::new(),
             stats: CtrlStats::default(),
+            channel_id: 0,
+            trace: None,
+        }
+    }
+
+    /// Enable command tracing into a ring of `capacity` records, stamping
+    /// records with `channel_id`, and attach per-μbank heat counters to
+    /// the channel.
+    pub fn enable_telemetry(&mut self, channel_id: u16, trace_capacity: usize) {
+        self.channel_id = channel_id;
+        if trace_capacity > 0 {
+            self.trace = Some(Box::new(CmdTrace::new(trace_capacity)));
+        }
+        self.channel.enable_telemetry();
+    }
+
+    #[inline]
+    fn trace_cmd(&mut self, cycle: Cycle, cmd: CmdKind, ubank: usize, row: u32) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(CmdRecord {
+                cycle,
+                channel: self.channel_id,
+                cmd,
+                ubank: ubank as u32,
+                row,
+                queue_len: self.queue.len() as u16,
+            });
         }
     }
 
@@ -194,11 +235,15 @@ impl MemoryController {
         // Resolve a pending speculative decision for this bank: the correct
         // choice was "keep open" iff this request hits the recorded row.
         if let Some(p) = self.pending[flat].take() {
-            let outcome = if req.loc.row == p.row { PageDecision::KeepOpen } else { PageDecision::Close };
+            let outcome = if req.loc.row == p.row {
+                PageDecision::KeepOpen
+            } else {
+                PageDecision::Close
+            };
             // The perfect oracle is correct by construction (it resolves
             // retroactively); every other scheme is scored on its guess.
-            let correct = matches!(self.predictor, PredictorImpl::Perfect)
-                || p.predicted == outcome;
+            let correct =
+                matches!(self.predictor, PredictorImpl::Perfect) || p.predicted == outcome;
             self.stats.policy_stats.record(correct);
             match &mut self.predictor {
                 PredictorImpl::Local(l) => l.update(flat, p.predicted, outcome),
@@ -216,11 +261,8 @@ impl MemoryController {
         }
         // Row-buffer outcome classification (hit/closed/conflict) at
         // arrival, the standard accounting the energy model consumes.
-        match self.channel.open_row_flat(flat) {
-            Some(r) if r == req.loc.row => self.channel.stats.row_hits += 1,
-            Some(_) => self.channel.stats.row_conflicts += 1,
-            None => self.channel.stats.row_closed += 1,
-        }
+        // The channel owns it so stats and heat counters update together.
+        self.channel.classify_arrival(flat, req.loc.row);
         self.queue.push(req, flat);
         true
     }
@@ -258,6 +300,7 @@ impl MemoryController {
                         self.auto_pre[flat] = false;
                         self.close_deadline[flat] = Cycle::MAX;
                     }
+                    self.trace_cmd(now, CmdKind::PreA, rank * per_rank, 0);
                 }
                 self.channel.update_powerdown(rank, now, work);
             }
@@ -283,19 +326,21 @@ impl MemoryController {
             if !self.refresh_draining[rank] {
                 continue;
             }
+            let per_rank = self.auto_pre.len() / self.refresh_draining.len();
             if self.channel.rank_all_idle(rank) {
                 self.channel.refresh(rank, now);
                 self.refresh_draining[rank] = false;
+                self.trace_cmd(now, CmdKind::Ref, rank * per_rank, 0);
                 return true;
             }
             // Drain with one PREA once every open bank may precharge.
             if self.channel.can_precharge_all(rank, now) {
                 self.channel.precharge_all(rank, now);
-                let per_rank = self.auto_pre.len() / self.refresh_draining.len();
                 for flat in rank * per_rank..(rank + 1) * per_rank {
                     self.auto_pre[flat] = false;
                     self.close_deadline[flat] = Cycle::MAX;
                 }
+                self.trace_cmd(now, CmdKind::PreA, rank * per_rank, 0);
                 return true;
             }
         }
@@ -322,7 +367,10 @@ impl MemoryController {
             }
             let action = match self.channel.open_row_flat(flat) {
                 Some(open) if open == r.loc.row => {
-                    if self.channel.can_column_flat(flat, r.loc.row, r.is_write(), now) {
+                    if self
+                        .channel
+                        .can_column_flat(flat, r.loc.row, r.is_write(), now)
+                    {
                         Some(Action::Column)
                     } else {
                         None
@@ -332,7 +380,9 @@ impl MemoryController {
                     // Conflict: close the open row unless another queued
                     // request still wants it (serve hits before closing).
                     let cfg = &self.cfg;
-                    let has_hit = self.queue.any_hit_for(flat, open, |m| m.loc.ubank_flat(cfg));
+                    let has_hit = self
+                        .queue
+                        .any_hit_for(flat, open, |m| m.loc.ubank_flat(cfg));
                     if !has_hit && self.channel.can_precharge_flat(flat, now) {
                         Some(Action::PrechargeConflict)
                     } else {
@@ -381,26 +431,18 @@ impl MemoryController {
         };
         let r = *self.queue.get(best.idx);
         let flat = r.loc.ubank_flat(&self.cfg);
-        if std::env::var_os("MICROBANK_TRACE").is_some() && now < 3000 {
-            eprintln!(
-                "t={now} {:?} bank={} row={} id={} cands={}",
-                best.action,
-                flat,
-                r.loc.row,
-                r.id,
-                self.scratch.len()
-            );
-        }
         match best.action {
             Action::Activate => {
                 self.channel.activate_flat(flat, r.loc.row, now);
                 self.auto_pre[flat] = false;
                 self.close_deadline[flat] = Cycle::MAX;
+                self.trace_cmd(now, CmdKind::Act, flat, r.loc.row);
             }
             Action::PrechargeConflict => {
                 self.channel.precharge_flat(flat, now);
                 self.auto_pre[flat] = false;
                 self.close_deadline[flat] = Cycle::MAX;
+                self.trace_cmd(now, CmdKind::Pre, flat, r.loc.row);
             }
             Action::Column => {
                 let done = if r.is_write() {
@@ -408,6 +450,12 @@ impl MemoryController {
                 } else {
                     self.channel.read_flat(flat, now)
                 };
+                let kind = if r.is_write() {
+                    CmdKind::Wr
+                } else {
+                    CmdKind::Rd
+                };
+                self.trace_cmd(now, kind, flat, r.loc.row);
                 self.queue.remove(best.idx, flat);
                 self.scheduler.note_serviced(r.id);
                 if r.is_write() {
@@ -450,7 +498,11 @@ impl MemoryController {
         if decision == PageDecision::Close {
             self.auto_pre[flat] = true;
         }
-        self.pending[flat] = Some(PendingDecision { predicted: decision, row, thread });
+        self.pending[flat] = Some(PendingDecision {
+            predicted: decision,
+            row,
+            thread,
+        });
     }
 
     /// Issue policy-driven precharges on otherwise idle command slots.
@@ -461,6 +513,7 @@ impl MemoryController {
                 self.channel.precharge_flat(flat, now);
                 self.auto_pre[flat] = false;
                 self.close_deadline[flat] = Cycle::MAX;
+                self.trace_cmd(now, CmdKind::Pre, flat, 0);
                 return;
             }
         }
@@ -508,7 +561,11 @@ mod tests {
             c.take_completions(&mut done);
             now += 1;
         }
-        assert!(done.len() >= n, "only {} of {n} completed by {limit}", done.len());
+        assert!(
+            done.len() >= n,
+            "only {} of {n} completed by {limit}",
+            done.len()
+        );
         done
     }
 
@@ -535,8 +592,14 @@ mod tests {
         let done = run_until(&mut c, 2, 10_000);
         let t = cf.timings();
         let gap = done[1].at - done[0].at;
-        assert!(gap <= t.t_ccd.max(t.t_burst) + t.t_cmd, "hit gap {gap} too large");
-        assert_eq!(c.channel.stats.activates, 1, "second access must not re-activate");
+        assert!(
+            gap <= t.t_ccd.max(t.t_burst) + t.t_cmd,
+            "hit gap {gap} too large"
+        );
+        assert_eq!(
+            c.channel.stats.activates, 1,
+            "second access must not re-activate"
+        );
     }
 
     #[test]
@@ -558,7 +621,13 @@ mod tests {
     /// Mean access latency (completion − enqueue) for `n` serialized
     /// requests from `pattern`, with an idle `gap` after each completion so
     /// tRC never binds and the speculative page decision is what matters.
-    fn mean_latency(cf: &MemConfig, policy: PolicyKind, pattern: impl Fn(u64) -> u64, n: u64, gap: Cycle) -> f64 {
+    fn mean_latency(
+        cf: &MemConfig,
+        policy: PolicyKind,
+        pattern: impl Fn(u64) -> u64,
+        n: u64,
+        gap: Cycle,
+    ) -> f64 {
         let mut c = ctrl(cf, policy);
         let mut now: Cycle = 0;
         let mut total: u64 = 0;
@@ -605,7 +674,11 @@ mod tests {
         let close = mean_latency(&cf, PolicyKind::Close, stream, 64, 300);
         let t = cf.timings();
         assert!(open + 2.0 < close, "open {open} !< close {close}");
-        assert!((close - open) > 0.8 * t.t_rcd as f64, "gap {}", close - open);
+        assert!(
+            (close - open) > 0.8 * t.t_rcd as f64,
+            "gap {}",
+            close - open
+        );
     }
 
     #[test]
@@ -624,7 +697,10 @@ mod tests {
                 300,
             );
             let best = open.min(close);
-            assert!(perfect <= best + 2.0, "perfect {perfect} vs best static {best}");
+            assert!(
+                perfect <= best + 2.0,
+                "perfect {perfect} vs best static {best}"
+            );
         }
     }
 
@@ -682,7 +758,15 @@ mod tests {
         for (nw, nb) in [(1usize, 1usize), (4, 4)] {
             let cf = cfg(nw, nb);
             let map = AddressMap::new(&cf);
-            let mk = |b: u8, row: u32| Location { channel: 0, rank: 0, bank: 0, w: 0, b, row, col: 0 };
+            let mk = |b: u8, row: u32| Location {
+                channel: 0,
+                rank: 0,
+                bank: 0,
+                w: 0,
+                b,
+                row,
+                col: 0,
+            };
             let (l1, l2) = if nb == 1 {
                 (mk(0, 0), mk(0, 1))
             } else {
@@ -720,9 +804,17 @@ mod tests {
             now += 1;
         }
         assert_eq!(done.len(), 60);
-        assert!(c.policy_hit_rate() > 0.8, "hit rate {}", c.policy_hit_rate());
+        assert!(
+            c.policy_hit_rate() > 0.8,
+            "hit rate {}",
+            c.policy_hit_rate()
+        );
         // After warmup the predictor keeps the row open: ~1 activate total.
-        assert!(c.channel.stats.activates <= 3, "{} ACTs", c.channel.stats.activates);
+        assert!(
+            c.channel.stats.activates <= 3,
+            "{} ACTs",
+            c.channel.stats.activates
+        );
     }
 
     #[test]
@@ -742,7 +834,11 @@ mod tests {
             let mut now = 0;
             while done.len() < 64 && now < 200_000 {
                 while next < 64 && c.free_slots() > 0 {
-                    let kind = if next % 2 == 0 { ReqKind::Read } else { ReqKind::Write };
+                    let kind = if next.is_multiple_of(2) {
+                        ReqKind::Read
+                    } else {
+                        ReqKind::Write
+                    };
                     // One open row: every request is a column candidate, so
                     // ordering is purely the scheduler/drain's choice.
                     c.enqueue(mkreq(&c, next, (next % 32) * 64, kind, 0), now);

@@ -21,8 +21,8 @@ pub mod scheduler;
 pub use controller::{Completion, CtrlStats, MemoryController, WriteDrain};
 pub use policy::{PagePolicy, PolicyKind};
 pub use predictor::{
-    BimodalCounter, GlobalPredictor, LocalPredictor, PageDecision, PredictorKind,
-    PredictorStats, TournamentPredictor,
+    BimodalCounter, GlobalPredictor, LocalPredictor, PageDecision, PredictorKind, PredictorStats,
+    TournamentPredictor,
 };
 pub use queue::RequestQueue;
 pub use scheduler::SchedulerKind;

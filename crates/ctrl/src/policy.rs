@@ -23,7 +23,9 @@ pub enum PolicyKind {
     Open,
     Close,
     /// Keep a speculatively-open row for `window_cycles`, then close.
-    MinimalistOpen { window_cycles: u64 },
+    MinimalistOpen {
+        window_cycles: u64,
+    },
     Predictive(PredictorKind),
 }
 
@@ -69,8 +71,14 @@ mod tests {
         assert_eq!(PolicyKind::Open.mnemonic(), "O");
         assert_eq!(PolicyKind::Close.mnemonic(), "C");
         assert_eq!(PolicyKind::Predictive(PredictorKind::Local).mnemonic(), "L");
-        assert_eq!(PolicyKind::Predictive(PredictorKind::Tournament).mnemonic(), "T");
-        assert_eq!(PolicyKind::Predictive(PredictorKind::Perfect).mnemonic(), "P");
+        assert_eq!(
+            PolicyKind::Predictive(PredictorKind::Tournament).mnemonic(),
+            "T"
+        );
+        assert_eq!(
+            PolicyKind::Predictive(PredictorKind::Perfect).mnemonic(),
+            "P"
+        );
     }
 
     #[test]

@@ -105,7 +105,10 @@ pub struct LocalPredictor {
 
 impl LocalPredictor {
     pub fn new(banks: usize) -> Self {
-        LocalPredictor { counters: vec![BimodalCounter::default(); banks], stats: PredictorStats::default() }
+        LocalPredictor {
+            counters: vec![BimodalCounter::default(); banks],
+            stats: PredictorStats::default(),
+        }
     }
 
     pub fn predict(&self, bank: usize) -> PageDecision {
@@ -129,7 +132,10 @@ pub struct GlobalPredictor {
 
 impl GlobalPredictor {
     pub fn new(threads: usize) -> Self {
-        GlobalPredictor { counters: vec![BimodalCounter::default(); threads], stats: PredictorStats::default() }
+        GlobalPredictor {
+            counters: vec![BimodalCounter::default(); threads],
+            stats: PredictorStats::default(),
+        }
     }
 
     pub fn predict(&self, thread: u16) -> PageDecision {
@@ -151,8 +157,12 @@ enum Candidate {
     Global,
 }
 
-const CANDIDATES: [Candidate; 4] =
-    [Candidate::StaticOpen, Candidate::StaticClose, Candidate::Local, Candidate::Global];
+const CANDIDATES: [Candidate; 4] = [
+    Candidate::StaticOpen,
+    Candidate::StaticClose,
+    Candidate::Local,
+    Candidate::Global,
+];
 
 /// Tournament predictor ("T" in Fig. 13): per-bank confidence counters pick
 /// one of {open, close, local, global}; all four are trained on every
@@ -193,7 +203,13 @@ impl TournamentPredictor {
         self.candidate_prediction(CANDIDATES[best], bank, thread)
     }
 
-    pub fn update(&mut self, bank: usize, thread: u16, predicted: PageDecision, outcome: PageDecision) {
+    pub fn update(
+        &mut self,
+        bank: usize,
+        thread: u16,
+        predicted: PageDecision,
+        outcome: PageDecision,
+    ) {
         self.stats.record(predicted == outcome);
         // Reward/punish each candidate by whether *it* would have been right.
         let preds: Vec<PageDecision> = CANDIDATES
@@ -261,7 +277,11 @@ mod tests {
             g.update(2, p, PageDecision::Close);
         }
         assert_eq!(g.predict(2), PageDecision::Close);
-        assert_eq!(g.predict(0), PageDecision::KeepOpen, "other threads untouched");
+        assert_eq!(
+            g.predict(0),
+            PageDecision::KeepOpen,
+            "other threads untouched"
+        );
     }
 
     #[test]
@@ -292,7 +312,11 @@ mod tests {
         // its stats well-formed.
         let mut t = TournamentPredictor::new(1, 1);
         for i in 0..100 {
-            let outcome = if i % 2 == 0 { PageDecision::KeepOpen } else { PageDecision::Close };
+            let outcome = if i % 2 == 0 {
+                PageDecision::KeepOpen
+            } else {
+                PageDecision::Close
+            };
             let p = t.predict(0, 0);
             t.update(0, 0, p, outcome);
         }

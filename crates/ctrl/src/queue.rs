@@ -87,7 +87,12 @@ impl RequestQueue {
 
     /// Does any queued request target `flat_ubank` with `row`?
     /// `flat_of` maps an entry to its flat μbank index.
-    pub fn any_hit_for(&self, flat_ubank: usize, row: u32, flat_of: impl Fn(&MemRequest) -> usize) -> bool {
+    pub fn any_hit_for(
+        &self,
+        flat_ubank: usize,
+        row: u32,
+        flat_of: impl Fn(&MemRequest) -> usize,
+    ) -> bool {
         self.entries
             .iter()
             .any(|r| r.loc.row == row && flat_of(r) == flat_ubank)

@@ -94,7 +94,11 @@ impl Scheduler {
 
     /// Form a new batch if the current one is exhausted (PAR-BS only).
     /// `flat_of` maps an entry to its flat μbank index.
-    pub fn maybe_form_batch(&mut self, queue: &RequestQueue, flat_of: impl Fn(&MemRequest) -> usize) {
+    pub fn maybe_form_batch(
+        &mut self,
+        queue: &RequestQueue,
+        flat_of: impl Fn(&MemRequest) -> usize,
+    ) {
         let SchedulerKind::ParBs { marking_cap } = self.kind else {
             return;
         };
@@ -168,12 +172,33 @@ mod tests {
     fn frfcfs_prefers_row_hits_then_age() {
         let s = Scheduler::new(SchedulerKind::FrFcfs);
         let cands = [
-            Candidate { idx: 0, action: Action::Activate, id: 0, thread: 0, arrival: 0 },
-            Candidate { idx: 1, action: Action::Column, id: 1, thread: 0, arrival: 10 },
-            Candidate { idx: 2, action: Action::Column, id: 2, thread: 1, arrival: 5 },
+            Candidate {
+                idx: 0,
+                action: Action::Activate,
+                id: 0,
+                thread: 0,
+                arrival: 0,
+            },
+            Candidate {
+                idx: 1,
+                action: Action::Column,
+                id: 1,
+                thread: 0,
+                arrival: 10,
+            },
+            Candidate {
+                idx: 2,
+                action: Action::Column,
+                id: 2,
+                thread: 1,
+                arrival: 5,
+            },
         ];
         let best = s.select(&cands).unwrap();
-        assert_eq!(best.idx, 2, "younger hit beats older miss; older hit beats younger");
+        assert_eq!(
+            best.idx, 2,
+            "younger hit beats older miss; older hit beats younger"
+        );
     }
 
     #[test]
@@ -237,9 +262,21 @@ mod tests {
         s.maybe_form_batch(&q, flat_of(&c));
         let cands = [
             // Unmarked row hit (arrived after the batch formed)…
-            Candidate { idx: 5, action: Action::Column, id: 42, thread: 3, arrival: 100 },
+            Candidate {
+                idx: 5,
+                action: Action::Column,
+                id: 42,
+                thread: 3,
+                arrival: 100,
+            },
             // …vs a marked activate.
-            Candidate { idx: 0, action: Action::Activate, id: 1, thread: 0, arrival: 0 },
+            Candidate {
+                idx: 0,
+                action: Action::Activate,
+                id: 1,
+                thread: 0,
+                arrival: 0,
+            },
         ];
         assert_eq!(s.select(&cands).unwrap().id, 1);
     }

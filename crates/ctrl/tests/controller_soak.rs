@@ -29,7 +29,11 @@ fn soak(
     while (done.len() as u64) < total {
         while issued < total && c.free_slots() > 0 && rng.gen_bool(0.7) {
             let addr = rng.gen_range(0..(1u64 << 26)) & !63;
-            let kind = if rng.gen_bool(0.3) { ReqKind::Write } else { ReqKind::Read };
+            let kind = if rng.gen_bool(0.3) {
+                ReqKind::Write
+            } else {
+                ReqKind::Read
+            };
             let mut r = MemRequest::new(issued, addr, kind, (issued % 16) as u16, now);
             r.loc = c.map().decode(addr);
             assert!(c.enqueue(r, now));
@@ -80,7 +84,10 @@ fn every_policy_completes_all_requests() {
 #[test]
 fn both_schedulers_complete_all_requests() {
     let cfg = MemConfig::lpddr_tsi().with_ubanks(4, 4).with_channels(1);
-    for sched in [SchedulerKind::FrFcfs, SchedulerKind::ParBs { marking_cap: 5 }] {
+    for sched in [
+        SchedulerKind::FrFcfs,
+        SchedulerKind::ParBs { marking_cap: 5 },
+    ] {
         let done = soak(&cfg, sched, PolicyKind::Open, 500, 2);
         check_exactly_once(&done, 500);
     }
@@ -98,7 +105,10 @@ fn extreme_partitionings_survive_soak() {
 #[test]
 fn refresh_on_and_off_both_complete() {
     for refresh in [true, false] {
-        let cfg = MemConfig::lpddr_tsi().with_ubanks(2, 2).with_channels(1).with_refresh(refresh);
+        let cfg = MemConfig::lpddr_tsi()
+            .with_ubanks(2, 2)
+            .with_channels(1)
+            .with_refresh(refresh);
         let done = soak(&cfg, SchedulerKind::default(), PolicyKind::Close, 300, 4);
         check_exactly_once(&done, 300);
     }

@@ -83,10 +83,14 @@ pub fn system_breakdown(kind: SystemKind, beta: f64, utilization: f64) -> BitEne
 /// All three Fig. 1 bars at the figure's nominal traffic (β = 1, 30%
 /// channel utilization).
 pub fn figure1() -> Vec<(SystemKind, BitEnergyBreakdown)> {
-    [SystemKind::PcbBaseline, SystemKind::Tsi, SystemKind::TsiMicrobank]
-        .into_iter()
-        .map(|k| (k, system_breakdown(k, 1.0, 0.3)))
-        .collect()
+    [
+        SystemKind::PcbBaseline,
+        SystemKind::Tsi,
+        SystemKind::TsiMicrobank,
+    ]
+    .into_iter()
+    .map(|k| (k, system_breakdown(k, 1.0, 0.3)))
+    .collect()
 }
 
 #[cfg(test)]

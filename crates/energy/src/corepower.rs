@@ -73,7 +73,11 @@ mod tests {
     #[test]
     fn dynamic_term_matches_paper_math() {
         // §III-B example: at 200 pJ/op, 1e9 ops = 0.2 J = 2e8 nJ dynamic.
-        let m = CorePowerModel { static_mw_per_core: 0.0, static_mw_per_cluster: 0.0, ..Default::default() };
+        let m = CorePowerModel {
+            static_mw_per_core: 0.0,
+            static_mw_per_cluster: 0.0,
+            ..Default::default()
+        };
         let e = m.energy_nj(1_000_000_000, 0, 1);
         assert!((e - 2.0e8).abs() < 1.0);
     }

@@ -29,9 +29,8 @@ impl EnergyModel {
     /// number of wordline partitions, plus latch update energy that grows
     /// with the μbank count (negligible, §IV-B — but modeled).
     pub fn act_pre_nj(&self) -> f64 {
-        let latch_nj = self.params.latch_pj_per_act_per_ubank
-            * self.ubank.ubanks_per_bank() as f64
-            / 1000.0;
+        let latch_nj =
+            self.params.latch_pj_per_act_per_ubank * self.ubank.ubanks_per_bank() as f64 / 1000.0;
         self.params.act_pre_nj_8kb / self.ubank.n_w as f64 + latch_nj
     }
 

@@ -125,7 +125,13 @@ mod tests {
     #[test]
     fn for_interface_dispatch() {
         use microbank_core::config::Interface::*;
-        assert_eq!(EnergyParams::for_interface(Ddr3Pcb), EnergyParams::ddr3_pcb());
-        assert_eq!(EnergyParams::for_interface(LpddrTsi), EnergyParams::lpddr_tsi());
+        assert_eq!(
+            EnergyParams::for_interface(Ddr3Pcb),
+            EnergyParams::ddr3_pcb()
+        );
+        assert_eq!(
+            EnergyParams::for_interface(LpddrTsi),
+            EnergyParams::lpddr_tsi()
+        );
     }
 }

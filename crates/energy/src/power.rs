@@ -77,7 +77,11 @@ pub struct PowerIntegrator {
 
 impl PowerIntegrator {
     pub fn new(model: EnergyModel, channels: usize) -> Self {
-        PowerIntegrator { model, channels, ranks_per_channel: 1 }
+        PowerIntegrator {
+            model,
+            channels,
+            ranks_per_channel: 1,
+        }
     }
 
     /// Builder: set the rank count used to apportion power-down savings.
@@ -124,7 +128,12 @@ mod tests {
     }
 
     fn stats(acts: u64, reads: u64, writes: u64) -> DramStats {
-        DramStats { activates: acts, reads, writes, ..Default::default() }
+        DramStats {
+            activates: acts,
+            reads,
+            writes,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -175,7 +184,10 @@ mod tests {
 
     #[test]
     fn zero_time_power_is_zero() {
-        let e = MemoryEnergy { act_pre_nj: 5.0, ..Default::default() };
+        let e = MemoryEnergy {
+            act_pre_nj: 5.0,
+            ..Default::default()
+        };
         assert_eq!(e.to_watts(0).total_w(), 0.0);
     }
 }

@@ -21,7 +21,11 @@ fn any_ubank() -> impl Strategy<Value = UbankConfig> {
 }
 
 fn any_iface() -> impl Strategy<Value = Interface> {
-    prop::sample::select(vec![Interface::Ddr3Pcb, Interface::Ddr3Tsi, Interface::LpddrTsi])
+    prop::sample::select(vec![
+        Interface::Ddr3Pcb,
+        Interface::Ddr3Tsi,
+        Interface::LpddrTsi,
+    ])
 }
 
 proptest! {

@@ -62,7 +62,12 @@ pub fn ubank_grid(workload: Workload, quick: bool) -> GridResult {
         rel_edp.push(row.iter().map(|r| r.inverse_edp_vs(baseline)).collect());
         raw.push(row.to_vec());
     }
-    GridResult { workload: workload.label(), rel_ipc, rel_inv_edp: rel_edp, raw }
+    GridResult {
+        workload: workload.label(),
+        rel_ipc,
+        rel_inv_edp: rel_edp,
+        raw,
+    }
 }
 
 /// One Fig. 10 bar group: a workload on a representative configuration.
@@ -299,10 +304,7 @@ pub fn interface_study(workloads: &[Workload], quick: bool) -> Vec<InterfaceRow>
 /// organizations — conventional, SALP (bitline-only partitioning),
 /// Half-DRAM (2×2 point), and μbank — all on the LPDDR-TSI substrate.
 /// Returns `(label, result)` pairs; index 0 is the conventional baseline.
-pub fn organization_comparison(
-    workload: Workload,
-    quick: bool,
-) -> Vec<(String, SimResult)> {
+pub fn organization_comparison(workload: Workload, quick: bool) -> Vec<(String, SimResult)> {
     use microbank_core::organization::Organization;
     let orgs = Organization::comparison_set();
     let cfgs: Vec<SimConfig> = orgs

@@ -18,9 +18,8 @@ pub mod simulator;
 
 pub use experiment::{
     base_cfg, headline, interface_study, interleave_policy_study, organization_comparison,
-    predictor_study,
-    representative_study, ubank_grid, GridResult, InterfaceRow, InterleaveRow, PredictorRow,
-    RepresentativeRow, DEGREES, REPRESENTATIVE,
+    predictor_study, representative_study, ubank_grid, GridResult, InterfaceRow, InterleaveRow,
+    PredictorRow, RepresentativeRow, DEGREES, REPRESENTATIVE,
 };
 pub use report::{summarize, summary_columns, Table};
 pub use simulator::{run, run_many, SimConfig, SimResult};

@@ -4,9 +4,10 @@
 
 use crate::simulator::SimResult;
 
-/// Escape a CSV field (quotes + commas).
+/// Escape a CSV field (quotes, commas, and both line-break characters — a
+/// bare `\r` breaks RFC-4180 parsers just like `\n` does).
 fn csv_field(s: &str) -> String {
-    if s.contains([',', '"', '\n']) {
+    if s.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
@@ -39,7 +40,12 @@ impl Table {
 
     pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
         let label = label.into();
-        assert_eq!(values.len(), self.columns.len(), "row width mismatch in {}", self.title);
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width mismatch in {}",
+            self.title
+        );
         self.rows.push(Row { label, values });
     }
 
@@ -60,6 +66,30 @@ impl Table {
             out.push('\n');
         }
         out
+    }
+
+    /// Render as JSON: `{"title":…,"columns":[…],"rows":[{"label":…,
+    /// "values":[…]},…]}` via the telemetry crate's writer (no serializer
+    /// dependency).
+    pub fn to_json(&self) -> String {
+        let mut w = microbank_telemetry::json::JsonWriter::new();
+        w.begin_object().key("title").string(&self.title);
+        w.key("columns").begin_array();
+        for c in &self.columns {
+            w.string(c);
+        }
+        w.end_array();
+        w.key("rows").begin_array();
+        for r in &self.rows {
+            w.begin_object().key("label").string(&r.label);
+            w.key("values").begin_array();
+            for &v in &r.values {
+                w.num(v);
+            }
+            w.end_array().end_object();
+        }
+        w.end_array().end_object();
+        w.finish()
     }
 
     /// Render as a GitHub-flavored Markdown table.
@@ -87,7 +117,15 @@ impl Table {
 
 /// Standard per-run summary row used by several harnesses.
 pub fn summary_columns() -> Vec<&'static str> {
-    vec!["ipc", "mapki", "row_hit_rate", "mean_lat", "p95_lat", "mem_power_w", "actpre_frac"]
+    vec![
+        "ipc",
+        "mapki",
+        "row_hit_rate",
+        "mean_lat",
+        "p95_lat",
+        "mem_power_w",
+        "actpre_frac",
+    ]
 }
 
 /// Extract the standard summary values from a [`SimResult`].
@@ -120,6 +158,27 @@ mod tests {
         assert!(csv.contains("\"row,2\""));
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.starts_with("label,a,b"));
+    }
+
+    #[test]
+    fn csv_quotes_carriage_returns() {
+        let mut t = Table::new("t", &["a"]);
+        t.push("bad\rlabel", vec![1.0]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"bad\rlabel\""), "{csv:?}");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let v = microbank_telemetry::json::parse(&table().to_json()).unwrap();
+        assert_eq!(v.get("title").unwrap().as_str(), Some("test"));
+        assert_eq!(v.get("columns").unwrap().items().len(), 2);
+        let rows = v.get("rows").unwrap().items();
+        assert_eq!(rows[1].get("label").unwrap().as_str(), Some("row,2"));
+        assert_eq!(
+            rows[1].get("values").unwrap().items()[1].as_f64(),
+            Some(4.25)
+        );
     }
 
     #[test]

@@ -14,7 +14,11 @@ use microbank_energy::corepower::CorePowerModel;
 use microbank_energy::energy::EnergyModel;
 use microbank_energy::params::EnergyParams;
 use microbank_energy::power::{MemoryEnergy, PowerIntegrator};
+use microbank_telemetry::{
+    mcycles_per_sec, CmdRecord, HeatCounters, PhaseTimer, TelemetryConfig, Timeline,
+};
 use microbank_workloads::suite::{build_sources, Workload};
+use serde::Serialize;
 use std::collections::BinaryHeap;
 
 /// One simulation run's configuration.
@@ -33,6 +37,10 @@ pub struct SimConfig {
     /// Tick controllers every N CPU cycles. 2 matches the TSI command-bus
     /// slot (1 ns), so no command-issue opportunity is ever skipped.
     pub ctrl_stride: Cycle,
+    /// When set, the run collects an epoch time-series, per-μbank heat
+    /// counters, and a bounded command trace (see [`run_instrumented`]).
+    /// `None` (the default) keeps every hot-path hook to a single branch.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl SimConfig {
@@ -48,6 +56,7 @@ impl SimConfig {
             measure_cycles: 400_000,
             seed: 0xC0FFEE,
             ctrl_stride: 2,
+            telemetry: None,
         }
     }
 
@@ -66,10 +75,63 @@ impl SimConfig {
         self.measure_cycles = 60_000;
         self
     }
+
+    /// Enable telemetry collection with the given configuration.
+    pub fn with_telemetry(mut self, tc: TelemetryConfig) -> Self {
+        self.telemetry = Some(tc);
+        self
+    }
+}
+
+/// Wall-clock self-profile of one run: how long the *simulator* spent in
+/// each phase, and its simulated-cycles-per-second throughput. Tracked on
+/// every run (three `Instant::now` calls) so harness slowdowns show up in
+/// result artifacts, not just simulated slowdowns.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RunProfile {
+    pub setup_secs: f64,
+    pub warmup_secs: f64,
+    pub measure_secs: f64,
+    pub total_secs: f64,
+    /// Simulated megacycles per wall-second over the cycle loop.
+    pub sim_mcycles_per_sec: f64,
+}
+
+/// Telemetry collected by an instrumented run, all restricted to the
+/// measurement window (heat counters inherited from warmup are subtracted
+/// at the boundary, with open rows attributed to the window — the same
+/// convention as [`SimResult::dram`]).
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// Epoch time-series over the whole run (warmup included; the cycle
+    /// column is absolute, so the warmup boundary is visible in the data).
+    pub timeline: Timeline,
+    /// Per-channel μbank heat counters over the measurement window.
+    pub heat: Vec<HeatCounters>,
+    /// Command trace merged across channels, chronological. Bounded by the
+    /// configured ring capacity per channel: the *latest* records survive.
+    pub trace: Vec<CmdRecord>,
+    /// Commands offered to the trace rings (before overwrite).
+    pub trace_pushed: u64,
+    /// Commands overwritten by ring wrap-around.
+    pub trace_dropped: u64,
+}
+
+impl TelemetryReport {
+    /// Heat counters summed over channels (shapes match by construction:
+    /// all channels share one `MemConfig`).
+    pub fn merged_heat(&self) -> HeatCounters {
+        let mut it = self.heat.iter();
+        let mut acc = it.next().expect("at least one channel").clone();
+        for h in it {
+            acc.merge(h);
+        }
+        acc
+    }
 }
 
 /// Measured outcome of one run (all values over the measurement window).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct SimResult {
     pub label: String,
     pub cycles: Cycle,
@@ -93,6 +155,8 @@ pub struct SimResult {
     /// Per-core committed-instruction counts over the window (fairness:
     /// PAR-BS exists to bound the slowdown of individual threads).
     pub per_core_committed: Vec<u64>,
+    /// Simulator self-profile (wall-clock per phase, Mcycles/s).
+    pub profile: RunProfile,
 }
 
 impl SimResult {
@@ -130,7 +194,11 @@ impl SimResult {
             return 1.0;
         }
         let sum: f64 = self.per_core_committed.iter().map(|&c| c as f64).sum();
-        let sum_sq: f64 = self.per_core_committed.iter().map(|&c| (c as f64).powi(2)).sum();
+        let sum_sq: f64 = self
+            .per_core_committed
+            .iter()
+            .map(|&c| (c as f64).powi(2))
+            .sum();
         if sum_sq == 0.0 {
             1.0
         } else {
@@ -168,14 +236,100 @@ impl PartialOrd for Delivery {
     }
 }
 
-/// Run one simulation to completion.
+/// Run one simulation to completion. Honors `cfg.telemetry` for hook
+/// enablement but discards the collected report; use [`run_instrumented`]
+/// to keep it.
 pub fn run(cfg: &SimConfig) -> SimResult {
+    run_inner(cfg).0
+}
+
+/// Run with telemetry collection forced on (using `cfg.telemetry` if set,
+/// the default [`TelemetryConfig`] otherwise) and return the report.
+pub fn run_instrumented(cfg: &SimConfig) -> (SimResult, TelemetryReport) {
+    let mut cfg = cfg.clone();
+    if cfg.telemetry.is_none() {
+        cfg.telemetry = Some(TelemetryConfig::default());
+    }
+    let (result, report) = run_inner(&cfg);
+    (result, report.expect("telemetry was enabled"))
+}
+
+/// Field-wise `end - start` over every DRAM counter.
+fn stats_delta(end: &DramStats, start: &DramStats) -> DramStats {
+    DramStats {
+        activates: end.activates - start.activates,
+        precharges: end.precharges - start.precharges,
+        reads: end.reads - start.reads,
+        writes: end.writes - start.writes,
+        refreshes: end.refreshes - start.refreshes,
+        data_bus_busy: end.data_bus_busy - start.data_bus_busy,
+        row_hits: end.row_hits - start.row_hits,
+        row_closed: end.row_closed - start.row_closed,
+        row_conflicts: end.row_conflicts - start.row_conflicts,
+        powerdown_rank_cycles: end.powerdown_rank_cycles - start.powerdown_rank_cycles,
+        powerdown_entries: end.powerdown_entries - start.powerdown_entries,
+    }
+}
+
+fn merged_stats(ctrls: &[MemoryController]) -> DramStats {
+    let mut d = DramStats::default();
+    for c in ctrls {
+        d.merge(&c.channel.stats);
+    }
+    d
+}
+
+fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
+    let mut timer = PhaseTimer::new();
     let capacity = cfg.mem.capacity_bytes();
     let sources = build_sources(cfg.workload, cfg.cmp.cores, capacity, cfg.seed);
     let mut cmp = CmpSystem::new(cfg.cmp, sources);
     let mut ctrls: Vec<MemoryController> = (0..cfg.mem.channels)
         .map(|_| MemoryController::new(&cfg.mem, cfg.scheduler, cfg.policy, cfg.cmp.cores))
         .collect();
+    if let Some(tc) = cfg.telemetry {
+        for (i, c) in ctrls.iter_mut().enumerate() {
+            c.enable_telemetry(i as u16, tc.trace_capacity);
+        }
+    }
+
+    let emodel = EnergyModel::new(
+        EnergyParams::for_interface(cfg.mem.interface),
+        cfg.mem.ubank,
+    );
+    let integrator =
+        PowerIntegrator::new(emodel, cfg.mem.channels).with_ranks(cfg.mem.ranks_per_channel);
+
+    // Epoch sampler: per-epoch counter deltas plus instantaneous queue
+    // depths, sampled every `epoch_cycles` over the whole run.
+    let epoch_cycles = cfg.telemetry.map_or(0, |tc| tc.epoch_cycles);
+    let mut timeline = cfg.telemetry.map(|tc| {
+        let mut names: Vec<String> = [
+            "ipc",
+            "reads",
+            "writes",
+            "activates",
+            "precharges",
+            "row_hits",
+            "row_conflicts",
+            "queue_occupancy",
+            "backlog",
+            "power_w",
+            "powerdown_cycles",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        if cfg.mem.channels > 1 {
+            for i in 0..cfg.mem.channels {
+                names.push(format!("ch{i}.queue_len"));
+            }
+        }
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        Timeline::new(tc.epoch_cycles, &refs)
+    });
+    let mut epoch_stats = DramStats::default();
+    let mut epoch_committed = 0u64;
 
     let total = cfg.warmup_cycles + cfg.measure_cycles;
     let noc = cfg.cmp.noc_latency;
@@ -188,20 +342,36 @@ pub fn run(cfg: &SimConfig) -> SimResult {
     let mut committed_at_warmup = 0u64;
     let mut per_core_at_warmup: Vec<u64> = vec![0; cfg.cmp.cores];
     let mut dram_at_warmup = DramStats::default();
+    let mut heat_at_warmup: Vec<HeatCounters> = Vec::new();
 
     // Enqueue-time records for latency measurement (id → enqueue cycle).
     let mut enqueue_time: std::collections::HashMap<u64, Cycle> = std::collections::HashMap::new();
     let mut read_lat_samples: u64 = 0;
 
+    timer.mark("setup");
     for now in 0..total {
         if now == cfg.warmup_cycles {
+            timer.mark("warmup");
             committed_at_warmup = cmp.total_committed();
             for (i, c) in per_core_at_warmup.iter_mut().enumerate() {
                 *c = cmp.core(i).stats.committed;
             }
-            let mut d = DramStats::default();
+            let mut d = merged_stats(&ctrls);
+            // Rows still open at the boundary were activated in warmup but
+            // will be precharged inside the measured window. Attribute
+            // those activates to the window — on both the stats and the
+            // heat side — so the window delta keeps `precharges ≤
+            // activates` and the heat map reconciles with it exactly.
             for c in &ctrls {
-                d.merge(&c.channel.stats);
+                let open = c.channel.open_ubanks();
+                d.activates -= open.len() as u64;
+                if let Some(tel) = &c.channel.telemetry {
+                    let mut h = tel.heat.clone();
+                    for flat in open {
+                        h.activates[flat] = h.activates[flat].saturating_sub(1);
+                    }
+                    heat_at_warmup.push(h);
+                }
             }
             dram_at_warmup = d;
         }
@@ -221,15 +391,20 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                             read_lat_samples += 1;
                         }
                     }
-                    deliveries.push(Delivery { at: comp.at.max(now) + noc, id: comp.id });
+                    deliveries.push(Delivery {
+                        at: comp.at.max(now) + noc,
+                        id: comp.id,
+                    });
                 }
             }
         }
         // Deliver due fills to the CMP.
         while deliveries.peek().is_some_and(|d| d.at <= now) {
             let d = deliveries.pop().unwrap();
-            let mut router =
-                TrackingRouter { ctrls: &mut ctrls, enqueue_time: &mut enqueue_time };
+            let mut router = TrackingRouter {
+                ctrls: &mut ctrls,
+                enqueue_time: &mut enqueue_time,
+            };
             cmp.on_fill(d.id, now, &mut router);
         }
         // Advance the cores.
@@ -238,29 +413,50 @@ pub fn run(cfg: &SimConfig) -> SimResult {
             enqueue_time: &mut enqueue_time,
         };
         cmp.tick(now, &mut router);
+
+        // Close the epoch ending with this cycle.
+        if epoch_cycles > 0 && (now + 1) % epoch_cycles == 0 {
+            let agg = merged_stats(&ctrls);
+            let d = stats_delta(&agg, &epoch_stats);
+            epoch_stats = agg;
+            let committed_now = cmp.total_committed();
+            let dc = committed_now - epoch_committed;
+            epoch_committed = committed_now;
+            let qlens: Vec<usize> = ctrls.iter().map(|c| c.queue_len()).collect();
+            let q_mean = qlens.iter().sum::<usize>() as f64 / qlens.len().max(1) as f64;
+            let power_w = integrator
+                .integrate(&d, epoch_cycles)
+                .to_watts(epoch_cycles)
+                .total_w();
+            let mut row = vec![
+                dc as f64 / epoch_cycles as f64,
+                d.reads as f64,
+                d.writes as f64,
+                d.activates as f64,
+                d.precharges as f64,
+                d.row_hits as f64,
+                d.row_conflicts as f64,
+                q_mean,
+                cmp.backlog_len() as f64,
+                power_w,
+                d.powerdown_rank_cycles as f64,
+            ];
+            if ctrls.len() > 1 {
+                row.extend(qlens.iter().map(|&q| q as f64));
+            }
+            timeline
+                .as_mut()
+                .expect("epoch implies timeline")
+                .push(now + 1, row);
+        }
     }
+    timer.mark("measure");
 
     // Gather measurement-window deltas.
     let committed = cmp.total_committed() - committed_at_warmup;
-    let mut dram = DramStats::default();
-    for c in &ctrls {
-        dram.merge(&c.channel.stats);
-    }
-    let mut delta = dram;
-    // Subtract warmup counts field-by-field via merge of negation is not
-    // available; compute manually.
-    delta.activates -= dram_at_warmup.activates;
-    delta.precharges -= dram_at_warmup.precharges;
-    delta.reads -= dram_at_warmup.reads;
-    delta.writes -= dram_at_warmup.writes;
-    delta.refreshes -= dram_at_warmup.refreshes;
-    delta.data_bus_busy -= dram_at_warmup.data_bus_busy;
-    delta.row_hits -= dram_at_warmup.row_hits;
-    delta.row_closed -= dram_at_warmup.row_closed;
-    delta.row_conflicts -= dram_at_warmup.row_conflicts;
+    let dram = merged_stats(&ctrls);
+    let delta = stats_delta(&dram, &dram_at_warmup);
 
-    let emodel = EnergyModel::new(EnergyParams::for_interface(cfg.mem.interface), cfg.mem.ubank);
-    let integrator = PowerIntegrator::new(emodel, cfg.mem.channels).with_ranks(cfg.mem.ranks_per_channel);
     let mem_energy = integrator.integrate(&delta, cfg.measure_cycles);
     let core_energy_nj =
         CorePowerModel::default().energy_nj(committed, cfg.measure_cycles, cfg.cmp.cores);
@@ -271,10 +467,55 @@ pub fn run(cfg: &SimConfig) -> SimResult {
             t + ctrl.stats.policy_stats.predictions,
         )
     });
-    let occupancy: f64 = ctrls.iter().map(|c| c.stats.mean_queue_occupancy()).sum::<f64>()
+    let occupancy: f64 = ctrls
+        .iter()
+        .map(|c| c.stats.mean_queue_occupancy())
+        .sum::<f64>()
         / ctrls.len() as f64;
 
-    SimResult {
+    let report = cfg.telemetry.map(|_| {
+        let heat: Vec<HeatCounters> = ctrls
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let tel = c.channel.telemetry.as_ref().expect("telemetry enabled");
+                match heat_at_warmup.get(i) {
+                    Some(earlier) => tel.heat.delta_since(earlier),
+                    None => tel.heat.clone(),
+                }
+            })
+            .collect();
+        let mut trace: Vec<CmdRecord> = Vec::new();
+        let mut trace_pushed = 0u64;
+        let mut trace_dropped = 0u64;
+        for c in &ctrls {
+            if let Some(t) = &c.trace {
+                trace.extend(t.records());
+                trace_pushed += t.total_pushed();
+                trace_dropped += t.dropped();
+            }
+        }
+        trace.sort_by_key(|r| (r.cycle, r.channel));
+        TelemetryReport {
+            timeline: timeline.take().expect("telemetry implies timeline"),
+            heat,
+            trace,
+            trace_pushed,
+            trace_dropped,
+        }
+    });
+
+    let warmup_secs = timer.seconds("warmup");
+    let measure_secs = timer.seconds("measure");
+    let profile = RunProfile {
+        setup_secs: timer.seconds("setup"),
+        warmup_secs,
+        measure_secs,
+        total_secs: timer.total(),
+        sim_mcycles_per_sec: mcycles_per_sec(total, warmup_secs + measure_secs),
+    };
+
+    let result = SimResult {
         label: cfg.workload.label(),
         cycles: cfg.measure_cycles,
         committed,
@@ -303,7 +544,9 @@ pub fn run(cfg: &SimConfig) -> SimResult {
         per_core_committed: (0..cfg.cmp.cores)
             .map(|i| cmp.core(i).stats.committed - per_core_at_warmup[i])
             .collect(),
-    }
+        profile,
+    };
+    (result, report)
 }
 
 /// Router that also records enqueue times for read-latency accounting.
@@ -316,7 +559,11 @@ impl MemPort for TrackingRouter<'_> {
     fn submit(&mut self, req: SubmittedReq, now: Cycle) -> bool {
         let loc = self.ctrls[0].map().decode(req.addr);
         let ctrl = &mut self.ctrls[loc.channel as usize];
-        let kind = if req.is_write { ReqKind::Write } else { ReqKind::Read };
+        let kind = if req.is_write {
+            ReqKind::Write
+        } else {
+            ReqKind::Read
+        };
         let mut r = MemRequest::new(req.id, req.addr, kind, req.thread, now);
         r.loc = loc;
         let ok = ctrl.enqueue(r, now);
@@ -329,7 +576,9 @@ impl MemPort for TrackingRouter<'_> {
 
 /// Run many configurations in parallel (one OS thread per hardware thread).
 pub fn run_many(cfgs: &[SimConfig]) -> Vec<SimResult> {
-    let parallelism = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let parallelism = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     let mut results: Vec<Option<SimResult>> = vec![None; cfgs.len()];
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results_mx = parking_lot::Mutex::new(&mut results);
@@ -345,7 +594,10 @@ pub fn run_many(cfgs: &[SimConfig]) -> Vec<SimResult> {
             });
         }
     });
-    results.into_iter().map(|r| r.expect("worker completed")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("worker completed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -411,13 +663,57 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_run_reconciles_heat_with_stats() {
+        let cfg = SimConfig::spec_single_channel(Workload::Spec("429.mcf"))
+            .quick()
+            .with_telemetry(microbank_telemetry::TelemetryConfig::new(5_000, 4096));
+        let (r, rep) = run_instrumented(&cfg);
+        // Heat map totals must reconcile exactly with the window stats.
+        let heat = rep.merged_heat();
+        assert_eq!(heat.total_activates(), r.dram.activates);
+        assert_eq!(heat.total_hits(), r.dram.row_hits);
+        assert_eq!(heat.total_conflicts(), r.dram.row_conflicts);
+        // Epoch series: 80k cycles / 5k epoch = 16 samples, ≥6 metrics.
+        assert_eq!(rep.timeline.len(), 16);
+        assert!(rep.timeline.metrics().len() >= 6);
+        let acts = rep.timeline.series("activates").unwrap();
+        assert!(acts.iter().sum::<f64>() > 0.0);
+        // Trace captured commands with coherent ordering.
+        assert!(!rep.trace.is_empty());
+        assert!(rep.trace.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        assert_eq!(rep.trace_pushed - rep.trace_dropped, rep.trace.len() as u64);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_results() {
+        let base = SimConfig::spec_single_channel(Workload::Spec("429.mcf")).quick();
+        let plain = run(&base);
+        let (instr, _) = run_instrumented(&base.clone().with_telemetry(Default::default()));
+        assert_eq!(plain.committed, instr.committed);
+        assert_eq!(plain.dram, instr.dram);
+    }
+
+    #[test]
+    fn profile_is_populated() {
+        let cfg = SimConfig::spec_single_channel(Workload::Spec("429.mcf")).quick();
+        let r = run(&cfg);
+        assert!(r.profile.total_secs > 0.0);
+        assert!(r.profile.sim_mcycles_per_sec > 0.0);
+        assert!(r.profile.measure_secs > 0.0);
+    }
+
+    #[test]
     fn compute_bound_workload_is_memory_insensitive() {
         let base = SimConfig::paper_default(Workload::Spec("453.povray")).quick();
         let mut ub = base.clone();
         ub.mem = ub.mem.with_ubanks(16, 16);
         let r0 = run(&base);
         let r1 = run(&ub);
-        assert!(r0.ipc > 1.0 * 32.0 / 64.0, "povray should be fast: {}", r0.ipc);
+        assert!(
+            r0.ipc > 1.0 * 32.0 / 64.0,
+            "povray should be fast: {}",
+            r0.ipc
+        );
         let rel = r1.ipc / r0.ipc;
         assert!((rel - 1.0).abs() < 0.05, "compute-bound moved {rel}");
     }

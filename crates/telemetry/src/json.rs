@@ -1,0 +1,396 @@
+//! A minimal JSON writer and parser, so the telemetry crate can emit and
+//! round-trip its artifacts (time-series, heat maps, Chrome trace events)
+//! without pulling a serialization dependency into the simulator's
+//! innermost crates.
+//!
+//! The subset is exactly what the exporters produce: objects, arrays,
+//! strings, finite numbers, booleans, and null. The parser exists so
+//! exports can be validated in tests (and by downstream tooling) — it is
+//! not a general-purpose JSON library.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value (object keys sorted, as emitted by [`JsonWriter`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object (None for other variants).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Array elements ([] for other variants).
+    pub fn items(&self) -> &[JsonValue] {
+        match self {
+            JsonValue::Array(v) => v,
+            _ => &[],
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Escape a string into a JSON string literal (with quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a number the way JSON requires: finite, no NaN/Inf (mapped to 0),
+/// integers without a trailing `.0`.
+pub fn number(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v == v.trunc() && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// An append-only JSON builder. The caller is responsible for structural
+/// validity (the exporters in this crate always produce balanced output;
+/// the parser-backed tests catch regressions).
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// Whether the next element at the current nesting level needs a comma.
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(last) = self.need_comma.last_mut() {
+            if *last {
+                self.buf.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.pre_value();
+        self.buf.push('{');
+        self.need_comma.push(false);
+        self
+    }
+
+    pub fn end_object(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.buf.push('}');
+        self
+    }
+
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.pre_value();
+        self.buf.push('[');
+        self.need_comma.push(false);
+        self
+    }
+
+    pub fn end_array(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.buf.push(']');
+        self
+    }
+
+    /// Emit `"key":` inside an object; the next call supplies the value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.pre_value();
+        self.buf.push_str(&escape(k));
+        self.buf.push(':');
+        // The value after a key must not get its own comma.
+        if let Some(last) = self.need_comma.last_mut() {
+            *last = false;
+        }
+        self
+    }
+
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.pre_value();
+        self.buf.push_str(&escape(s));
+        self
+    }
+
+    pub fn num(&mut self, v: f64) -> &mut Self {
+        self.pre_value();
+        self.buf.push_str(&number(v));
+        self
+    }
+
+    pub fn uint(&mut self, v: u64) -> &mut Self {
+        self.pre_value();
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    pub fn finish(self) -> String {
+        debug_assert!(self.need_comma.is_empty(), "unbalanced JSON writer");
+        self.buf
+    }
+}
+
+/// Parse a JSON document. Returns `Err(offset)` with the byte offset of the
+/// first error.
+pub fn parse(s: &str) -> Result<JsonValue, usize> {
+    let b = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(pos);
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), usize> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(*pos)
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, usize> {
+    skip_ws(b, pos);
+    match b.get(*pos).ok_or(*pos)? {
+        b'n' => expect(b, pos, "null").map(|_| JsonValue::Null),
+        b't' => expect(b, pos, "true").map(|_| JsonValue::Bool(true)),
+        b'f' => expect(b, pos, "false").map(|_| JsonValue::Bool(false)),
+        b'"' => parse_string(b, pos).map(JsonValue::String),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos).ok_or(*pos)? {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(*pos),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(*pos);
+                }
+                *pos += 1;
+                map.insert(key, parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos).ok_or(*pos)? {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(map));
+                    }
+                    _ => return Err(*pos),
+                }
+            }
+        }
+        _ => parse_number(b, pos).map(JsonValue::Number),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, usize> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(*pos);
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos).ok_or(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos).ok_or(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or(*pos)?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| *pos)?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| *pos)?;
+                        out.push(char::from_u32(code).ok_or(*pos)?);
+                        *pos += 4;
+                    }
+                    _ => return Err(*pos),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|_| start)?);
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, usize> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or(start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_builds_nested_document() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .key("name")
+            .string("ACT")
+            .key("vals")
+            .begin_array();
+        w.num(1.0).num(2.5).uint(u64::MAX);
+        w.end_array()
+            .key("ok")
+            .begin_object()
+            .end_object()
+            .end_object();
+        let s = w.finish();
+        assert_eq!(
+            s,
+            format!(
+                "{{\"name\":\"ACT\",\"vals\":[1,2.5,{}],\"ok\":{{}}}}",
+                u64::MAX
+            )
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .key("a,b\"c")
+            .string("line\nbreak")
+            .key("n")
+            .num(-2.75)
+            .key("arr")
+            .begin_array()
+            .num(0.0)
+            .end_array()
+            .end_object();
+        let v = parse(&w.finish()).unwrap();
+        assert_eq!(v.get("a,b\"c").unwrap().as_str(), Some("line\nbreak"));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(-2.75));
+        assert_eq!(v.get("arr").unwrap().items().len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} trailing").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn number_formatting_is_json_safe() {
+        assert_eq!(number(f64::NAN), "0");
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(3.5), "3.5");
+        assert_eq!(parse(&number(0.1)).unwrap().as_f64(), Some(0.1));
+    }
+
+    #[test]
+    fn unicode_and_control_escapes_round_trip() {
+        let s = "μbank \u{1} ✓";
+        let v = parse(&escape(s)).unwrap();
+        assert_eq!(v.as_str(), Some(s));
+    }
+}

@@ -1,0 +1,60 @@
+//! # microbank-telemetry
+//!
+//! The observability layer for the μbank simulator stack: everything the
+//! end-of-run aggregates in `SimResult` cannot explain. Dependency-free
+//! (std only) so the innermost crates (`microbank-core`,
+//! `microbank-ctrl`) can own telemetry state without widening the
+//! workspace's dependency graph.
+//!
+//! * [`series`] — [`series::Timeline`]: a metrics registry sampled every
+//!   epoch, exported as CSV or column-oriented JSON.
+//! * [`heat`] — [`heat::HeatCounters`]: per-μbank activate / row-hit /
+//!   conflict counters, rendered as `nW×nB`-aware heat maps.
+//! * [`trace`] — [`trace::CmdTrace`]: a bounded ring buffer of issued DRAM
+//!   commands, exported as Chrome `trace_event` JSON for
+//!   `chrome://tracing`.
+//! * [`profile`] — [`profile::PhaseTimer`]: wall-clock self-profiling of
+//!   the harness (simulated Mcycles per wall-second).
+//! * [`json`] — the minimal writer/parser backing the JSON exports.
+//!
+//! All hot-path hooks are designed to sit behind an `Option<Box<…>>` on
+//! the owning component: disabled (the default) costs one branch.
+
+pub mod heat;
+pub mod json;
+pub mod profile;
+pub mod series;
+pub mod trace;
+
+pub use heat::{ChannelTelemetry, HeatCounters};
+pub use profile::{mcycles_per_sec, PhaseTimer};
+pub use series::Timeline;
+pub use trace::{CmdKind, CmdRecord, CmdTrace};
+
+/// Knobs for enabling telemetry on a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Cycles per epoch sample.
+    pub epoch_cycles: u64,
+    /// Command-trace ring capacity per controller (0 disables tracing).
+    pub trace_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            epoch_cycles: 10_000,
+            trace_capacity: 65_536,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    pub fn new(epoch_cycles: u64, trace_capacity: usize) -> Self {
+        assert!(epoch_cycles > 0, "epoch length must be positive");
+        TelemetryConfig {
+            epoch_cycles,
+            trace_capacity,
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Epoch time-series: a metrics registry plus the sampled rows. The
+//! simulator closes each epoch by pushing one value per registered metric;
+//! the exporters turn the series into CSV (one row per epoch) or JSON
+//! (column-oriented, one array per metric).
+
+use crate::json::JsonWriter;
+use std::fmt::Write as _;
+
+/// One sampled epoch: the cycle the epoch *ended* plus one value per
+/// registered metric, in registration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSample {
+    pub cycle: u64,
+    pub values: Vec<f64>,
+}
+
+/// A named set of metrics sampled on a fixed cycle cadence.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Cycles per epoch (informational; the pusher owns the cadence).
+    pub epoch_cycles: u64,
+    metrics: Vec<String>,
+    samples: Vec<EpochSample>,
+}
+
+impl Timeline {
+    pub fn new(epoch_cycles: u64, metrics: &[&str]) -> Self {
+        Timeline {
+            epoch_cycles,
+            metrics: metrics.iter().map(|m| m.to_string()).collect(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Names of the registered metrics, in column order.
+    pub fn metrics(&self) -> &[String] {
+        &self.metrics
+    }
+
+    pub fn samples(&self) -> &[EpochSample] {
+        &self.samples
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Record the epoch ending at `cycle`. `values` must match the
+    /// registered metric count.
+    pub fn push(&mut self, cycle: u64, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.metrics.len(),
+            "timeline row width mismatch"
+        );
+        self.samples.push(EpochSample { cycle, values });
+    }
+
+    /// The full series for one metric by name.
+    pub fn series(&self, metric: &str) -> Option<Vec<f64>> {
+        let i = self.metrics.iter().position(|m| m == metric)?;
+        Some(self.samples.iter().map(|s| s.values[i]).collect())
+    }
+
+    /// CSV with a `cycle` column followed by one column per metric.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cycle");
+        for m in &self.metrics {
+            out.push(',');
+            // Metric names are identifiers chosen by this crate's callers;
+            // quote defensively anyway.
+            if m.contains([',', '"', '\n', '\r']) {
+                let _ = write!(out, "\"{}\"", m.replace('"', "\"\""));
+            } else {
+                out.push_str(m);
+            }
+        }
+        out.push('\n');
+        for s in &self.samples {
+            let _ = write!(out, "{}", s.cycle);
+            for v in &s.values {
+                let _ = write!(out, ",{v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Column-oriented JSON:
+    /// `{"epoch_cycles":N,"cycle":[...],"series":{"ipc":[...],...}}`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object().key("epoch_cycles").uint(self.epoch_cycles);
+        w.key("cycle").begin_array();
+        for s in &self.samples {
+            w.uint(s.cycle);
+        }
+        w.end_array();
+        w.key("series").begin_object();
+        for (i, m) in self.metrics.iter().enumerate() {
+            w.key(m).begin_array();
+            for s in &self.samples {
+                w.num(s.values[i]);
+            }
+            w.end_array();
+        }
+        w.end_object().end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn tl() -> Timeline {
+        let mut t = Timeline::new(100, &["ipc", "row_hits"]);
+        t.push(100, vec![1.5, 30.0]);
+        t.push(200, vec![1.25, 42.0]);
+        t
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = tl().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "cycle,ipc,row_hits");
+        assert_eq!(lines[1], "100,1.5,30");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let v = parse(&tl().to_json()).unwrap();
+        assert_eq!(v.get("epoch_cycles").unwrap().as_f64(), Some(100.0));
+        assert_eq!(v.get("cycle").unwrap().items().len(), 2);
+        let ipc = v.get("series").unwrap().get("ipc").unwrap();
+        assert_eq!(ipc.items()[1].as_f64(), Some(1.25));
+    }
+
+    #[test]
+    fn series_extraction() {
+        assert_eq!(tl().series("row_hits"), Some(vec![30.0, 42.0]));
+        assert_eq!(tl().series("nope"), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn width_mismatch_panics() {
+        let mut t = Timeline::new(10, &["a"]);
+        t.push(10, vec![1.0, 2.0]);
+    }
+}

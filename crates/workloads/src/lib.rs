@@ -21,12 +21,12 @@ pub mod phases;
 pub mod profile;
 pub mod spec;
 pub mod suite;
-pub mod trace;
 pub mod synth;
+pub mod trace;
 
+pub use phases::{phase_variants, PhasedSource};
 pub use profile::AppProfile;
 pub use spec::SpecGroup;
 pub use suite::{build_sources, Workload};
 pub use synth::SynthSource;
-pub use phases::{phase_variants, PhasedSource};
 pub use trace::{Trace, TraceRecord, TraceSource};

@@ -60,7 +60,11 @@ mod tests {
     fn mix_blend_covers_all_groups_in_any_prefix() {
         let m = mix_blend();
         assert_eq!(m.len(), 29);
-        let prefix: Vec<_> = m.iter().take(6).map(|p| group_of(p.name).unwrap()).collect();
+        let prefix: Vec<_> = m
+            .iter()
+            .take(6)
+            .map(|p| group_of(p.name).unwrap())
+            .collect();
         assert!(prefix.contains(&SpecGroup::High));
         assert!(prefix.contains(&SpecGroup::Med));
         assert!(prefix.contains(&SpecGroup::Low));

@@ -41,7 +41,13 @@ pub struct PhasedSource {
 impl PhasedSource {
     pub fn new(phases: Vec<SynthSource>, period: u64) -> Self {
         assert!(!phases.is_empty() && period > 0);
-        PhasedSource { phases, period, pos: 0, cur: 0, switches: 0 }
+        PhasedSource {
+            phases,
+            period,
+            pos: 0,
+            cur: 0,
+            switches: 0,
+        }
     }
 
     /// Build from a base profile using [`phase_variants`], one seeded
@@ -60,7 +66,14 @@ impl PhasedSource {
             .into_iter()
             .enumerate()
             .map(|(i, p)| {
-                SynthSource::new(p, seed ^ (i as u64 + 1), base_addr, size, shared_base, shared_size)
+                SynthSource::new(
+                    p,
+                    seed ^ (i as u64 + 1),
+                    base_addr,
+                    size,
+                    shared_base,
+                    shared_size,
+                )
             })
             .collect();
         Self::new(phases, period)
@@ -105,9 +118,18 @@ mod tests {
         for v in &vs {
             validate(v).unwrap();
         }
-        assert!(vs[1].hot_fraction < vs[0].hot_fraction, "burst phase misses more");
-        assert!(vs[2].hot_fraction > vs[0].hot_fraction, "lean phase misses less");
-        assert!(vs[3].stream_run > vs[0].stream_run, "streamy phase runs longer");
+        assert!(
+            vs[1].hot_fraction < vs[0].hot_fraction,
+            "burst phase misses more"
+        );
+        assert!(
+            vs[2].hot_fraction > vs[0].hot_fraction,
+            "lean phase misses less"
+        );
+        assert!(
+            vs[3].stream_run > vs[0].stream_run,
+            "streamy phase runs longer"
+        );
     }
 
     #[test]

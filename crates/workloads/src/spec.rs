@@ -139,8 +139,15 @@ mod tests {
         assert_eq!(
             high,
             [
-                "429.mcf", "433.milc", "437.leslie3d", "450.soplex", "459.GemsFDTD",
-                "462.libquantum", "470.lbm", "471.omnetpp", "482.sphinx3"
+                "429.mcf",
+                "433.milc",
+                "437.leslie3d",
+                "450.soplex",
+                "459.GemsFDTD",
+                "462.libquantum",
+                "470.lbm",
+                "471.omnetpp",
+                "482.sphinx3"
             ]
         );
         assert_eq!(SPEC_MED.len(), 10);

@@ -186,7 +186,11 @@ pub fn build_sources(
     seed: u64,
 ) -> Vec<SynthSource> {
     let profiles = workload.assign(cores);
-    let shared = if workload.is_multithreaded() { capacity_bytes / 16 } else { 0 };
+    let shared = if workload.is_multithreaded() {
+        capacity_bytes / 16
+    } else {
+        0
+    };
     let private_total = capacity_bytes - shared;
     let per_thread = (private_total / cores as u64).max(128);
     let shared_base = private_total;

@@ -68,10 +68,15 @@ impl SynthSource {
         let size = size.min(profile.footprint.max(2 * LINE));
         let mut rng = StdRng::seed_from_u64(seed);
         let streams = (0..profile.streams)
-            .map(|_| Stream { pos: base + aligned(&mut rng, size), left: 0 })
+            .map(|_| Stream {
+                pos: base + aligned(&mut rng, size),
+                left: 0,
+            })
             .collect();
         let hot_lines = (profile.hot_bytes / LINE).clamp(1, size / LINE) as usize;
-        let hot_addrs = (0..hot_lines).map(|_| base + aligned(&mut rng, size)).collect();
+        let hot_addrs = (0..hot_lines)
+            .map(|_| base + aligned(&mut rng, size))
+            .collect();
         SynthSource {
             profile,
             rng,
@@ -235,14 +240,19 @@ mod tests {
             p.stream_run = run;
             p.streams = 1;
             let mems = collect_mems(&mut src(p, 5), 4000);
-            let seq = mems
-                .windows(2)
-                .filter(|w| w[1].0 == w[0].0 + 64)
-                .count();
+            let seq = mems.windows(2).filter(|w| w[1].0 == w[0].0 + 64).count();
             seq_frac.push(seq as f64 / mems.len() as f64);
         }
-        assert!(seq_frac[0] < 0.05, "random stream too sequential: {}", seq_frac[0]);
-        assert!(seq_frac[1] > 0.8, "streaming not sequential: {}", seq_frac[1]);
+        assert!(
+            seq_frac[0] < 0.05,
+            "random stream too sequential: {}",
+            seq_frac[0]
+        );
+        assert!(
+            seq_frac[1] > 0.8,
+            "streaming not sequential: {}",
+            seq_frac[1]
+        );
     }
 
     #[test]
@@ -266,8 +276,7 @@ mod tests {
             p.row_reuse = reuse;
             p.reuse_window = 8;
             let mems = collect_mems(&mut src(p, 21), 2000);
-            let rows: std::collections::HashSet<u64> =
-                mems.iter().map(|m| m.0 / 8192).collect();
+            let rows: std::collections::HashSet<u64> = mems.iter().map(|m| m.0 / 8192).collect();
             rows.len()
         };
         let without = rows_touched(0.0);

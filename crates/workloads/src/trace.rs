@@ -43,7 +43,11 @@ impl Trace {
             match source.next_instr() {
                 Instr::Compute => gap = gap.saturating_add(1),
                 Instr::Mem { addr, is_write } => {
-                    records.push(TraceRecord { gap, addr, is_write });
+                    records.push(TraceRecord {
+                        gap,
+                        addr,
+                        is_write,
+                    });
                     gap = 0;
                 }
             }
@@ -88,7 +92,11 @@ impl Trace {
             let gap = data.get_u32_le();
             let addr = data.get_u64_le();
             let flags = data.get_u8();
-            records.push(TraceRecord { gap, addr, is_write: flags & 1 != 0 });
+            records.push(TraceRecord {
+                gap,
+                addr,
+                is_write: flags & 1 != 0,
+            });
         }
         Ok(Trace { records })
     }
@@ -131,7 +139,12 @@ impl TraceSource {
     pub fn new(trace: Trace) -> Self {
         assert!(!trace.is_empty(), "cannot replay an empty trace");
         let remaining_gap = trace.records[0].gap;
-        TraceSource { trace, idx: 0, remaining_gap, wraps: 0 }
+        TraceSource {
+            trace,
+            idx: 0,
+            remaining_gap,
+            wraps: 0,
+        }
     }
 }
 
@@ -148,7 +161,10 @@ impl InstrSource for TraceSource {
             self.wraps += 1;
         }
         self.remaining_gap = self.trace.records[self.idx].gap;
-        Instr::Mem { addr: r.addr, is_write: r.is_write }
+        Instr::Mem {
+            addr: r.addr,
+            is_write: r.is_write,
+        }
     }
 }
 
@@ -228,8 +244,16 @@ mod tests {
     fn replay_wraps_around() {
         let trace = Trace {
             records: vec![
-                TraceRecord { gap: 1, addr: 0x40, is_write: false },
-                TraceRecord { gap: 0, addr: 0x80, is_write: true },
+                TraceRecord {
+                    gap: 1,
+                    addr: 0x40,
+                    is_write: false,
+                },
+                TraceRecord {
+                    gap: 0,
+                    addr: 0x80,
+                    is_write: true,
+                },
             ],
         };
         let mut s = TraceSource::new(trace);

@@ -43,18 +43,26 @@ fn main() {
         row_reuse: 0.25,
         reuse_window: 8,
     };
-    println!("profile {:?} — nominal MAPKI {:.1}", profile.name, profile.nominal_mapki());
+    println!(
+        "profile {:?} — nominal MAPKI {:.1}",
+        profile.name,
+        profile.nominal_mapki()
+    );
 
     // Part 1: drive the CMP model standalone against a flat memory.
     let cmp_cfg = CmpConfig::small(4);
     let sources: Vec<SynthSource> = (0..4)
-        .map(|i| SynthSource::new(profile, 42 + i, (i as u64) << 24, 1 << 24, 0, 0))
+        .map(|i| SynthSource::new(profile, 42 + i, i << 24, 1 << 24, 0, 0))
         .collect();
     let mut cmp = CmpSystem::new(cmp_cfg, sources);
-    let mut mem = FlatMemory { latency: 200, pending: Vec::new() };
+    let mut mem = FlatMemory {
+        latency: 200,
+        pending: Vec::new(),
+    };
     for now in 0..50_000u64 {
         let due: Vec<u64> = {
-            let (ready, rest): (Vec<_>, Vec<_>) = mem.pending.drain(..).partition(|&(_, t)| t <= now);
+            let (ready, rest): (Vec<_>, Vec<_>) =
+                mem.pending.drain(..).partition(|&(_, t)| t <= now);
             mem.pending = rest;
             ready.into_iter().map(|(id, _)| id).collect()
         };
@@ -63,11 +71,17 @@ fn main() {
         }
         cmp.tick(now, &mut mem);
     }
-    println!("standalone CMP vs flat 100 ns memory: IPC {:.2}\n", cmp.ipc(50_000));
+    println!(
+        "standalone CMP vs flat 100 ns memory: IPC {:.2}\n",
+        cmp.ipc(50_000)
+    );
 
     // Part 2: full-system sweep over μbank configurations with area costs.
     let area = AreaModel::new();
-    println!("{:<9}{:>8}{:>10}{:>12}", "(nW,nB)", "IPC", "rel1/EDP", "area ovhd");
+    println!(
+        "{:<9}{:>8}{:>10}{:>12}",
+        "(nW,nB)", "IPC", "rel1/EDP", "area ovhd"
+    );
     let mut baseline: Option<microbank::sim::SimResult> = None;
     for (nw, nb) in [(1usize, 1usize), (2, 2), (2, 8), (8, 2), (8, 8)] {
         let mut cfg = SimConfig::spec_single_channel(Workload::Spec("429.mcf")).quick();
@@ -80,6 +94,11 @@ fn main() {
         let b = baseline.get_or_insert_with(|| r.clone());
         let rel_edp = r.inverse_edp_vs(b);
         let ovhd = area.relative_area(UbankConfig::new(nw, nb)) - 1.0;
-        println!("({nw:>2},{nb:>2})  {:>8.3}{:>10.3}{:>11.1}%", r.ipc, rel_edp, ovhd * 100.0);
+        println!(
+            "({nw:>2},{nb:>2})  {:>8.3}{:>10.3}{:>11.1}%",
+            r.ipc,
+            rel_edp,
+            ovhd * 100.0
+        );
     }
 }

@@ -12,10 +12,18 @@ fn main() {
     let map = AddressMap::new(&cfg);
     let mut ch = Channel::new(&cfg);
 
-    println!("LPDDR-TSI channel, (nW,nB) = (4,4): {} μbanks", ch.num_ubanks());
+    println!(
+        "LPDDR-TSI channel, (nW,nB) = (4,4): {} μbanks",
+        ch.num_ubanks()
+    );
     println!(
         "timings (cycles @2GHz): tRCD={} tAA={} tRAS={} tRP={} tRC={} burst={}",
-        t.t_rcd, t.t_aa, t.t_ras, t.t_rp, t.t_rc(), t.t_burst
+        t.t_rcd,
+        t.t_aa,
+        t.t_ras,
+        t.t_rp,
+        t.t_rc(),
+        t.t_burst
     );
     println!();
 
@@ -23,12 +31,15 @@ fn main() {
     // independent μbank proceeding in parallel.
     let a = map.decode(0x0000); // row R of μbank A
     let b = map.decode(0x0040); // next line, same row (hit)
-    let conflict_addr = map.encode(&Location { row: a.row + 1, ..a });
+    let conflict_addr = map.encode(&Location {
+        row: a.row + 1,
+        ..a
+    });
     let c = map.decode(conflict_addr); // same μbank, different row
     let other = map.decode(0x4000_0000); // far away: different μbank
 
     let mut now: Cycle = 0;
-    let mut log = |ev: &str, at: Cycle| println!("t={at:>4}  {ev}");
+    let log = |ev: &str, at: Cycle| println!("t={at:>4}  {ev}");
 
     assert!(ch.can_activate(&a, now));
     ch.activate(&a, now);
@@ -36,14 +47,20 @@ fn main() {
 
     now += t.t_rcd;
     let done = ch.read(&a, now);
-    log(&format!("RD    μbank A, col 0      (data done t={done})"), now);
+    log(
+        &format!("RD    μbank A, col 0      (data done t={done})"),
+        now,
+    );
 
     // Row hit: the second line needs only a column command.
     let hit_at = now + t.t_ccd;
     assert!(ch.can_column(&b, false, hit_at));
     now = hit_at;
     let done = ch.read(&b, now);
-    log(&format!("RD    μbank A, col 1 (hit, data done t={done})"), now);
+    log(
+        &format!("RD    μbank A, col 1 (hit, data done t={done})"),
+        now,
+    );
 
     // Independent μbank: overlaps freely while A is busy.
     let mut o = now + 2;

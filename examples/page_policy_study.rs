@@ -18,7 +18,10 @@ fn main() {
     ];
     for (nw, nb) in [(1usize, 1usize), (2, 8)] {
         println!("=== (nW, nB) = ({nw}, {nb}) — 429.mcf, 4 copies, 1 channel ===");
-        println!("{:<18}{:>8}{:>10}{:>12}", "policy", "IPC", "hit-rate", "ACT count");
+        println!(
+            "{:<18}{:>8}{:>10}{:>12}",
+            "policy", "IPC", "hit-rate", "ACT count"
+        );
         for policy in policies {
             let mut cfg = SimConfig::spec_single_channel(Workload::Spec("429.mcf")).quick();
             cfg.cmp.cores = 4; // moderate load: policy effects are latency effects

@@ -22,10 +22,22 @@ fn main() {
 
     println!();
     println!("                         baseline    (4,4) ubanks");
-    println!("IPC                      {:>8.3}    {:>8.3}", r0.ipc, r1.ipc);
-    println!("DRAM reads               {:>8}    {:>8}", r0.dram.reads, r1.dram.reads);
-    println!("row-buffer hit rate      {:>8.2}    {:>8.2}", r0.row_hit_rate, r1.row_hit_rate);
-    println!("mean read latency (cyc)  {:>8.0}    {:>8.0}", r0.mean_read_latency, r1.mean_read_latency);
+    println!(
+        "IPC                      {:>8.3}    {:>8.3}",
+        r0.ipc, r1.ipc
+    );
+    println!(
+        "DRAM reads               {:>8}    {:>8}",
+        r0.dram.reads, r1.dram.reads
+    );
+    println!(
+        "row-buffer hit rate      {:>8.2}    {:>8.2}",
+        r0.row_hit_rate, r1.row_hit_rate
+    );
+    println!(
+        "mean read latency (cyc)  {:>8.0}    {:>8.0}",
+        r0.mean_read_latency, r1.mean_read_latency
+    );
     println!(
         "memory energy (µJ)       {:>8.1}    {:>8.1}",
         r0.mem_energy.total_nj() / 1000.0,

@@ -61,7 +61,12 @@ fn fig8_shape_mcf_gains_most_tpch_prefers_nb() {
     let t0 = run(Workload::TpcH, 1, 1, 64);
     let tb = run(Workload::TpcH, 1, 8, 64);
     let tw = run(Workload::TpcH, 8, 1, 64);
-    assert!(tb.row_hit_rate > tw.row_hit_rate + 0.1, "nB {} vs nW {}", tb.row_hit_rate, tw.row_hit_rate);
+    assert!(
+        tb.row_hit_rate > tw.row_hit_rate + 0.1,
+        "nB {} vs nW {}",
+        tb.row_hit_rate,
+        tw.row_hit_rate
+    );
     assert!(tb.ipc > t0.ipc * 1.2);
 }
 
@@ -76,7 +81,12 @@ fn fig14_interface_ordering() {
     let dtsi = run(Interface::Ddr3Tsi);
     let ltsi = run(Interface::LpddrTsi);
     // IPC: TSI ≥ PCB (more channels, faster bursts); LPDDR-TSI ≈ DDR3-TSI.
-    assert!(dtsi.ipc > pcb.ipc * 1.1, "DDR3-TSI {} vs PCB {}", dtsi.ipc, pcb.ipc);
+    assert!(
+        dtsi.ipc > pcb.ipc * 1.1,
+        "DDR3-TSI {} vs PCB {}",
+        dtsi.ipc,
+        pcb.ipc
+    );
     assert!(ltsi.ipc > pcb.ipc * 1.1);
     // Energy: LPDDR-TSI strictly best EDP.
     assert!(ltsi.inverse_edp_vs(&pcb) > dtsi.inverse_edp_vs(&pcb));
@@ -105,7 +115,12 @@ fn related_work_microbank_subsumes_salp() {
     let ub = run_org(Organization::Microbank { n_w: 2, n_b: 4 });
     // SALP and the same-row-buffer-count μbank deliver similar IPC…
     assert!(salp.ipc > conv.ipc);
-    assert!((ub.ipc / salp.ipc - 1.0).abs() < 0.10, "{} vs {}", ub.ipc, salp.ipc);
+    assert!(
+        (ub.ipc / salp.ipc - 1.0).abs() < 0.10,
+        "{} vs {}",
+        ub.ipc,
+        salp.ipc
+    );
     // …but μbank activates half the row, so its ACT energy is lower.
     let e_salp = salp.mem_energy.act_pre_nj / salp.dram.activates.max(1) as f64;
     let e_ub = ub.mem_energy.act_pre_nj / ub.dram.activates.max(1) as f64;
@@ -122,6 +137,15 @@ fn headline_direction_ubank_tsi_beats_ddr3_pcb() {
     ub.mem = ub.mem.with_ubanks(4, 4);
     let b = sim::run(&base);
     let u = sim::run(&ub);
-    assert!(u.ipc > b.ipc * 1.1, "ubank TSI {} vs DDR3-PCB {}", u.ipc, b.ipc);
-    assert!(u.inverse_edp_vs(&b) > 1.5, "EDP gain {}", u.inverse_edp_vs(&b));
+    assert!(
+        u.ipc > b.ipc * 1.1,
+        "ubank TSI {} vs DDR3-PCB {}",
+        u.ipc,
+        b.ipc
+    );
+    assert!(
+        u.inverse_edp_vs(&b) > 1.5,
+        "EDP gain {}",
+        u.inverse_edp_vs(&b)
+    );
 }

@@ -17,7 +17,12 @@ fn close_page_beats_open_page_on_pointer_chasing_baseline() {
     // mcf has almost no row reuse: speculatively closing is right (§V).
     let open = sim::run(&cfg(PolicyKind::Open, 1, 1));
     let close = sim::run(&cfg(PolicyKind::Close, 1, 1));
-    assert!(close.ipc > open.ipc, "close {} vs open {}", close.ipc, open.ipc);
+    assert!(
+        close.ipc > open.ipc,
+        "close {} vs open {}",
+        close.ipc,
+        open.ipc
+    );
     assert!(close.policy_hit_rate > 0.9, "{}", close.policy_hit_rate);
     assert!(open.policy_hit_rate < 0.1, "{}", open.policy_hit_rate);
 }
@@ -27,7 +32,11 @@ fn predictors_track_the_better_static_policy() {
     let open = sim::run(&cfg(PolicyKind::Open, 1, 1));
     let close = sim::run(&cfg(PolicyKind::Close, 1, 1));
     let local = sim::run(&cfg(PolicyKind::Predictive(PredictorKind::Local), 1, 1));
-    let tour = sim::run(&cfg(PolicyKind::Predictive(PredictorKind::Tournament), 1, 1));
+    let tour = sim::run(&cfg(
+        PolicyKind::Predictive(PredictorKind::Tournament),
+        1,
+        1,
+    ));
     let best = open.ipc.max(close.ipc);
     let worst = open.ipc.min(close.ipc);
     for (name, r) in [("local", &local), ("tournament", &tour)] {
@@ -50,8 +59,15 @@ fn perfect_oracle_is_at_least_as_good_as_statics() {
     let close = sim::run(&cfg(PolicyKind::Close, 1, 1));
     let perfect = sim::run(&cfg(PolicyKind::Predictive(PredictorKind::Perfect), 1, 1));
     let best = open.ipc.max(close.ipc);
-    assert!(perfect.ipc > best * 0.98, "perfect {} vs best {best}", perfect.ipc);
-    assert!((perfect.policy_hit_rate - 1.0).abs() < 1e-9, "oracle hit rate is 1");
+    assert!(
+        perfect.ipc > best * 0.98,
+        "perfect {} vs best {best}",
+        perfect.ipc
+    );
+    assert!(
+        (perfect.policy_hit_rate - 1.0).abs() < 1e-9,
+        "oracle hit rate is 1"
+    );
 }
 
 #[test]
@@ -69,12 +85,19 @@ fn with_many_microbanks_open_page_suffices() {
     };
     // Locality workload: gap must be small.
     let open = sim::run(&mk("462.libquantum", PolicyKind::Open));
-    let tour = sim::run(&mk("462.libquantum", PolicyKind::Predictive(PredictorKind::Tournament)));
+    let tour = sim::run(&mk(
+        "462.libquantum",
+        PolicyKind::Predictive(PredictorKind::Tournament),
+    ));
     let gap = (tour.ipc - open.ipc) / open.ipc;
     assert!(gap < 0.05, "tournament gap on a streaming app: {gap}");
     // Pointer chasing (the outlier): bounded, tournament may win.
     let open_m = sim::run(&cfg(PolicyKind::Open, 2, 8));
-    let tour_m = sim::run(&cfg(PolicyKind::Predictive(PredictorKind::Tournament), 2, 8));
+    let tour_m = sim::run(&cfg(
+        PolicyKind::Predictive(PredictorKind::Tournament),
+        2,
+        8,
+    ));
     let gap_m = (tour_m.ipc - open_m.ipc) / open_m.ipc;
     assert!(gap_m > -0.02, "tournament must not lose to open: {gap_m}");
     assert!(gap_m < 0.30, "gap out of plausible range: {gap_m}");
@@ -98,7 +121,10 @@ fn page_interleaving_beats_line_interleaving_for_streams_with_ubanks() {
         page.row_hit_rate,
         line.row_hit_rate
     );
-    assert!(page.dram.activates < line.dram.activates / 2, "page interleave needs far fewer ACTs");
+    assert!(
+        page.dram.activates < line.dram.activates / 2,
+        "page interleave needs far fewer ACTs"
+    );
     assert!(page.ipc >= line.ipc * 0.98);
 }
 
@@ -111,7 +137,10 @@ fn parbs_and_frfcfs_both_sustain_throughput() {
     let ra = sim::run(&a);
     let rb = sim::run(&b);
     let ratio = ra.ipc / rb.ipc;
-    assert!((0.8..1.25).contains(&ratio), "schedulers diverge wildly: {ratio}");
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "schedulers diverge wildly: {ratio}"
+    );
 }
 
 #[test]
@@ -121,5 +150,9 @@ fn minimalist_open_sits_between_open_and_close_on_mcf() {
     let mini = sim::run(&cfg(PolicyKind::MinimalistOpen { window_cycles: 98 }, 1, 1));
     let lo = open.ipc.min(close.ipc) * 0.97;
     let hi = open.ipc.max(close.ipc) * 1.03;
-    assert!(mini.ipc > lo && mini.ipc < hi, "minimalist {} outside [{lo}, {hi}]", mini.ipc);
+    assert!(
+        mini.ipc > lo && mini.ipc < hi,
+        "minimalist {} outside [{lo}, {hi}]",
+        mini.ipc
+    );
 }

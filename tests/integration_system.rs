@@ -37,7 +37,10 @@ fn dram_command_accounting_is_consistent() {
     let r = sim::run(&small(Workload::Spec("429.mcf"), 1, 1));
     // Every activate is eventually precharged (modulo rows open at the end).
     assert!(r.dram.precharges <= r.dram.activates);
-    assert!(r.dram.activates <= r.dram.precharges + 64, "unbounded open rows");
+    assert!(
+        r.dram.activates <= r.dram.precharges + 64,
+        "unbounded open rows"
+    );
     // Row-buffer classification covers every column access's arrival.
     let classified = r.dram.row_hits + r.dram.row_closed + r.dram.row_conflicts;
     // (writebacks and warmup accesses make this approximate; it must be
@@ -68,8 +71,16 @@ fn energy_buckets_are_nonnegative_and_additive() {
 fn microbank_partitioning_helps_memory_bound_workloads() {
     let base = sim::run(&small(Workload::Spec("429.mcf"), 1, 1));
     let ub = sim::run(&small(Workload::Spec("429.mcf"), 4, 4));
-    assert!(ub.ipc > base.ipc * 1.05, "ubank {} vs base {}", ub.ipc, base.ipc);
-    assert!(ub.inverse_edp_vs(&base) > 1.2, "EDP should improve markedly");
+    assert!(
+        ub.ipc > base.ipc * 1.05,
+        "ubank {} vs base {}",
+        ub.ipc,
+        base.ipc
+    );
+    assert!(
+        ub.inverse_edp_vs(&base) > 1.2,
+        "EDP should improve markedly"
+    );
 }
 
 #[test]
@@ -78,7 +89,10 @@ fn wordline_partitioning_cuts_act_pre_energy_share() {
     let ub = sim::run(&small(Workload::Spec("429.mcf"), 8, 2));
     let per_act_base = base.mem_energy.act_pre_nj / base.dram.activates.max(1) as f64;
     let per_act_ub = ub.mem_energy.act_pre_nj / ub.dram.activates.max(1) as f64;
-    assert!(per_act_ub < per_act_base / 6.0, "{per_act_ub} vs {per_act_base}");
+    assert!(
+        per_act_ub < per_act_base / 6.0,
+        "{per_act_ub} vs {per_act_base}"
+    );
 }
 
 #[test]
@@ -136,7 +150,12 @@ fn powerdown_saves_static_energy_on_light_workloads() {
         on.mem_energy.static_nj,
         off.mem_energy.static_nj
     );
-    assert!(on.ipc > 0.97 * off.ipc, "power-down cost too much IPC: {} vs {}", on.ipc, off.ipc);
+    assert!(
+        on.ipc > 0.97 * off.ipc,
+        "power-down cost too much IPC: {} vs {}",
+        on.ipc,
+        off.ipc
+    );
 }
 
 #[test]
@@ -153,5 +172,10 @@ fn mapki_ordering_survives_end_to_end() {
     let mut mid_cfg = SimConfig::paper_default(Workload::Spec("403.gcc")).quick();
     mid_cfg.cmp.cores = 8;
     let mid = sim::run(&mid_cfg);
-    assert!(hi.mapki > 2.0 * mid.mapki, "hi {} vs mid {}", hi.mapki, mid.mapki);
+    assert!(
+        hi.mapki > 2.0 * mid.mapki,
+        "hi {} vs mid {}",
+        hi.mapki,
+        mid.mapki
+    );
 }

@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`). The workspace
+//! derives `Serialize`/`Deserialize` on its stats types to mark them
+//! archivable, but nothing links a serde serializer — JSON output goes
+//! through `microbank-telemetry`'s hand-rolled emitters. The traits here
+//! are satisfied by every type so trait bounds written against the real
+//! serde keep compiling.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`. This workspace vendors
+//! dependency stubs so it builds with no network access and no registry
+//! cache (see `vendor/README.md`). The real serde data model is not
+//! needed anywhere in the workspace — JSON artifacts are produced by the
+//! hand-rolled emitters in `microbank-telemetry` — so the derives accept
+//! the attribute grammar and expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
