@@ -1,0 +1,140 @@
+//! Perf-regression harness for the controller/simulator hot path.
+//!
+//! Runs the (1,1) and (16,16) single-channel 429.mcf quick configs — the
+//! two ends of the μbank-count spectrum — and records each config's
+//! simulated-Mcycles-per-second (best of `--reps` repetitions, so one
+//! noisy rep cannot fake a regression). Writes `results/BENCH_hotpath.json`,
+//! the repo's committed perf baseline.
+//!
+//! Usage:
+//!   bench_hotpath [--reps N] [--out PATH]
+//!   bench_hotpath --check BASELINE.json [--tolerance FRAC]
+//!
+//! With `--check`, the run additionally compares the fresh (16,16)
+//! throughput against the baseline file and exits nonzero when it fell
+//! more than FRAC (default 0.25) below it — the CI perf-smoke gate.
+
+use microbank_sim::simulator::{run, SimConfig};
+use microbank_telemetry::json::{parse, JsonWriter};
+use microbank_workloads::suite::Workload;
+
+struct BenchPoint {
+    label: String,
+    nw: usize,
+    nb: usize,
+    mcps: f64,
+    committed: u64,
+    dram_reads: u64,
+}
+
+fn measure(nw: usize, nb: usize, reps: usize) -> BenchPoint {
+    let mut cfg = SimConfig::spec_single_channel(Workload::Spec("429.mcf")).quick();
+    cfg.mem = cfg.mem.with_ubanks(nw, nb);
+    let mut best = 0.0f64;
+    let mut committed = 0;
+    let mut dram_reads = 0;
+    for _ in 0..reps.max(1) {
+        let r = run(&cfg);
+        if r.profile.sim_mcycles_per_sec > best {
+            best = r.profile.sim_mcycles_per_sec;
+        }
+        committed = r.committed;
+        dram_reads = r.dram.reads;
+    }
+    BenchPoint {
+        label: format!("{nw}x{nb}"),
+        nw,
+        nb,
+        mcps: best,
+        committed,
+        dram_reads,
+    }
+}
+
+fn to_json(points: &[BenchPoint], reps: usize) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .key("bench")
+        .string("hotpath")
+        .key("workload")
+        .string("429.mcf")
+        .key("reps")
+        .uint(reps as u64)
+        .key("configs")
+        .begin_array();
+    for p in points {
+        w.begin_object()
+            .key("label")
+            .string(&p.label)
+            .key("nw")
+            .uint(p.nw as u64)
+            .key("nb")
+            .uint(p.nb as u64)
+            .key("sim_mcycles_per_sec")
+            .num(p.mcps)
+            .key("committed")
+            .uint(p.committed)
+            .key("dram_reads")
+            .uint(p.dram_reads)
+            .end_object();
+    }
+    w.end_array().end_object();
+    w.finish()
+}
+
+/// Baseline (16,16) throughput from a previously written artifact.
+fn baseline_mcps(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v = parse(&text).ok()?;
+    v.get("configs")?
+        .items()
+        .iter()
+        .find(|c| c.get("label").and_then(|l| l.as_str()) == Some("16x16"))?
+        .get("sim_mcycles_per_sec")?
+        .as_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let reps: usize = flag("--reps").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let out = flag("--out").unwrap_or_else(|| "results/BENCH_hotpath.json".to_string());
+    let tolerance: f64 = flag("--tolerance")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+
+    let points = vec![measure(1, 1, reps), measure(16, 16, reps)];
+    for p in &points {
+        println!(
+            "{:>6}: {:8.2} Mcycles/s  (committed {}, dram reads {})",
+            p.label, p.mcps, p.committed, p.dram_reads
+        );
+    }
+
+    let json = to_json(&points, reps);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out, &json).expect("write bench artifact");
+    println!("wrote {out}");
+
+    if let Some(baseline) = flag("--check") {
+        let base = baseline_mcps(&baseline)
+            .unwrap_or_else(|| panic!("no 16x16 sim_mcycles_per_sec in {baseline}"));
+        let fresh = points.last().expect("16x16 point").mcps;
+        let floor = base * (1.0 - tolerance);
+        println!(
+            "perf gate: fresh {fresh:.2} vs baseline {base:.2} Mcycles/s \
+             (floor {floor:.2}, tolerance {tolerance})"
+        );
+        if fresh < floor {
+            eprintln!("FAIL: (16,16) hot-path throughput regressed more than {tolerance:.0?}");
+            std::process::exit(1);
+        }
+        println!("perf gate: OK");
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerate the golden snapshot rows consumed by
+//! `tests/integration_golden.rs`.
+//!
+//! Prints one Rust tuple literal per {scheduler} × {policy} × {μbank
+//! partition} golden configuration. The hot-path refactors in the
+//! controller/simulator are required to be *behavior-preserving*: after any
+//! such change this dump must match the table committed in the test
+//! byte-for-byte. Regenerate (and scrutinize the diff) only when a PR
+//! deliberately changes simulated behavior.
+//!
+//! Usage: `golden_dump`
+
+use microbank_ctrl::policy::PolicyKind;
+use microbank_ctrl::predictor::PredictorKind;
+use microbank_ctrl::scheduler::SchedulerKind;
+use microbank_sim::simulator::{golden_fingerprint, run, SimConfig};
+use microbank_workloads::suite::Workload;
+
+fn main() {
+    let schedulers = [
+        ("frfcfs", SchedulerKind::FrFcfs),
+        ("parbs", SchedulerKind::ParBs { marking_cap: 5 }),
+    ];
+    let policies = [
+        ("open", PolicyKind::Open),
+        ("close", PolicyKind::Close),
+        ("pred", PolicyKind::Predictive(PredictorKind::Local)),
+    ];
+    for (nw, nb) in [(1usize, 1usize), (8, 8)] {
+        for (sname, sched) in schedulers {
+            for (pname, policy) in policies {
+                let mut cfg = SimConfig::spec_single_channel(Workload::Spec("429.mcf")).quick();
+                cfg.mem = cfg.mem.with_ubanks(nw, nb);
+                cfg.warmup_cycles = 10_000;
+                cfg.measure_cycles = 30_000;
+                cfg.scheduler = sched;
+                cfg.policy = policy;
+                let r = run(&cfg);
+                let f = golden_fingerprint(&r);
+                println!("    (\"{nw}x{nb}\", \"{sname}\", \"{pname}\", {f:?}),");
+            }
+        }
+    }
+}

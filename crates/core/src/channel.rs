@@ -387,6 +387,13 @@ impl Channel {
         self.refresh_enabled && now >= self.ranks[rank].refresh_due
     }
 
+    /// Cycle at which `rank`'s next refresh becomes due (`None` when
+    /// refresh is disabled). Lets the controller report how long it is
+    /// provably inert so the simulator can skip its idle ticks.
+    pub fn next_refresh_at(&self, rank: usize) -> Option<Cycle> {
+        self.refresh_enabled.then(|| self.ranks[rank].refresh_due)
+    }
+
     /// All μbanks of `rank` precharged (required before REF)?
     pub fn rank_all_idle(&self, rank: usize) -> bool {
         let lo = rank * self.ubanks_per_rank;

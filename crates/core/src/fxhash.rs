@@ -1,0 +1,78 @@
+//! A minimal Fx-style hasher for hot-loop integer-keyed maps.
+//!
+//! The standard library's default SipHash shows up prominently in
+//! simulator profiles (the controller queue's row-match index, the CMP
+//! uncore's in-flight fill maps, the MESI directory). Every map that uses
+//! this hasher performs point operations only — lookups, counted inserts
+//! and removes — and never observes iteration order, so swapping the hash
+//! function is behavior-identical while removing SipHash from the per-tick
+//! path.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fx-style multiply-rotate hasher (the rustc hash): fast on the small
+/// integer keys the simulator uses, not collision-resistant — never use it
+/// where an adversary controls keys or where iteration order is observed.
+#[derive(Default)]
+pub struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x517cc1b727220a95;
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ b as u64).wrapping_mul(FX_SEED);
+        }
+    }
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+    fn write_u16(&mut self, n: u16) {
+        self.write_u64(n as u64);
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(FX_SEED);
+    }
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-keyed maps and sets.
+pub type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuild>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuild>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrips() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i as u32 * 2);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&(i as u32 * 2)));
+        }
+        assert_eq!(m.remove(&500), Some(1000));
+        assert_eq!(m.len(), 999);
+    }
+
+    #[test]
+    fn tuple_keys_hash_distinctly() {
+        let mut s: FxHashSet<(usize, u64)> = FxHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(s.insert((2, 1)));
+        assert!(!s.insert((1, 2)));
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -47,8 +47,25 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// Record `n` copies of `v` in O(1) (equivalent to `n` `record` calls).
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(v)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Saturating sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
     }
 
     pub fn mean(&self) -> f64 {

@@ -53,6 +53,7 @@ pub mod bank;
 pub mod channel;
 pub mod command;
 pub mod config;
+pub mod fxhash;
 pub mod geometry;
 pub mod hist;
 pub mod organization;

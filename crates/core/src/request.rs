@@ -33,6 +33,10 @@ pub struct MemRequest {
     pub arrival: Cycle,
     /// Decoded DRAM coordinates (filled by the controller on enqueue).
     pub loc: Location,
+    /// Flat μbank index within the owning channel, cached at enqueue
+    /// (stamped by the request queue) so the scheduler's per-tick scans
+    /// never recompute [`Location::ubank_flat`] per entry.
+    pub flat: u32,
 }
 
 impl MemRequest {
@@ -52,6 +56,7 @@ impl MemRequest {
                 row: 0,
                 col: 0,
             },
+            flat: 0,
         }
     }
 

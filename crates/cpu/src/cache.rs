@@ -34,6 +34,9 @@ struct Way {
 #[derive(Debug, Clone)]
 pub struct Cache {
     sets: usize,
+    /// log2(sets): tag extraction is a shift, never a division (sets is
+    /// asserted to be a power of two).
+    set_shift: u32,
     assoc: usize,
     ways: Vec<Way>,
     tick: u64,
@@ -51,6 +54,7 @@ impl Cache {
         assert!(sets.is_power_of_two(), "sets must be a power of two");
         Cache {
             sets,
+            set_shift: sets.trailing_zeros(),
             assoc,
             ways: vec![Way::default(); sets * assoc],
             tick: 0,
@@ -68,11 +72,11 @@ impl Cache {
     }
 
     fn tag_of(&self, addr: u64) -> u64 {
-        (addr >> CACHE_LINE_BITS) / self.sets as u64
+        (addr >> CACHE_LINE_BITS) >> self.set_shift
     }
 
     fn line_addr(&self, set: usize, tag: u64) -> u64 {
-        ((tag * self.sets as u64) + set as u64) << CACHE_LINE_BITS
+        ((tag << self.set_shift) + set as u64) << CACHE_LINE_BITS
     }
 
     /// Access the line holding `addr`; on a hit, update LRU and dirtiness.
@@ -161,6 +165,37 @@ impl Cache {
             lru: self.tick,
         };
         victim
+    }
+
+    /// Hit-or-nothing access: one way scan. On a hit, update LRU and
+    /// dirtiness and count the hit exactly as [`Cache::access`] would,
+    /// returning the hit way's index; on a miss, touch nothing (no
+    /// allocation, no miss count, no LRU tick) — exactly as the
+    /// `contains` + `access` pair it replaces, where the miss path never
+    /// called `access`. The caller classifies the miss itself.
+    pub fn probe_hit(&mut self, addr: u64, is_write: bool) -> Option<usize> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.assoc;
+        for (i, w) in self.ways[base..base + self.assoc].iter_mut().enumerate() {
+            if w.valid && w.tag == tag {
+                self.tick += 1;
+                w.lru = self.tick;
+                w.dirty |= is_write;
+                self.hits += 1;
+                return Some(base + i);
+            }
+        }
+        None
+    }
+
+    /// Bump the LRU clock on a way returned by [`Cache::probe_hit`] with no
+    /// intervening operation on this cache: equivalent to a
+    /// [`Cache::fill`]`(addr, false)` that finds the line present, minus
+    /// the way scan.
+    pub fn retouch(&mut self, way: usize) {
+        self.tick += 1;
+        self.ways[way].lru = self.tick;
     }
 
     /// Probe without modifying state.

@@ -8,7 +8,7 @@
 //! (memory or a remote L2) and which caches to invalidate — the invariants
 //! of MESI at the inter-L2 granularity our CMP model resolves.
 
-use std::collections::HashMap;
+use microbank_core::fxhash::FxHashMap;
 
 /// Directory state for one line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,7 +47,9 @@ pub type Invalidations = u64;
 /// The MESI directory.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    entries: HashMap<u64, DirEntry>,
+    // Point lookups only on the sim path (`check_invariants` iterates but
+    // is diagnostic-only), so hash choice cannot affect behavior.
+    entries: FxHashMap<u64, DirEntry>,
     pub forwards: u64,
     pub invalidation_msgs: u64,
 }

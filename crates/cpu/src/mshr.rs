@@ -1,7 +1,7 @@
 //! Miss-status holding registers: the per-core limiter on outstanding line
 //! misses and the merge point for accesses to an in-flight line.
 
-use std::collections::HashMap;
+use microbank_core::fxhash::FxHashMap;
 
 /// A waiter to notify when the line arrives: the ROB sequence number of the
 /// load (stores are posted and never wait).
@@ -20,7 +20,8 @@ pub struct MshrEntry {
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    entries: HashMap<u64, MshrEntry>,
+    // Point lookups keyed by line address; never iterated.
+    entries: FxHashMap<u64, MshrEntry>,
     pub merges: u64,
 }
 
@@ -28,7 +29,7 @@ impl MshrFile {
     pub fn new(capacity: usize) -> Self {
         MshrFile {
             capacity,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             merges: 0,
         }
     }

@@ -154,6 +154,30 @@ impl Core {
         }
     }
 
+    /// Earliest cycle at which ticking this core can change anything
+    /// beyond the ROB-full stall counter, given its state after this
+    /// cycle's commit+dispatch. Returns 0 when the core must tick next
+    /// cycle (ROB has space to dispatch into). With a full ROB, nothing
+    /// moves until the head entry is ready: `Cycle::MAX` while the head
+    /// waits on memory (a [`Core::complete_load`] re-evaluates), else the
+    /// head's ready time. Callers that skip the intervening cycles must
+    /// account each one via [`Core::account_rob_full_cycles`], since
+    /// `dispatch` would have counted a ROB-full stall.
+    pub fn stalled_until(&self) -> Cycle {
+        if self.rob.len() < self.rob_capacity {
+            return 0;
+        }
+        match self.rob.front() {
+            Some(e) => e.ready_at.unwrap_or(Cycle::MAX),
+            None => 0, // capacity 0 cannot happen; be conservative
+        }
+    }
+
+    /// Bulk-account skipped ROB-full cycles (see [`Core::stalled_until`]).
+    pub fn account_rob_full_cycles(&mut self, n: u64) {
+        self.stats.rob_full_cycles += n;
+    }
+
     /// A pending load (ROB sequence `seq`) finished at `now`.
     pub fn complete_load(&mut self, seq: u64, now: Cycle) {
         if seq < self.head_seq {

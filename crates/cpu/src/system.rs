@@ -13,8 +13,9 @@ use crate::instr::InstrSource;
 use crate::mshr::MshrFile;
 use crate::prefetch::StreamPrefetcher;
 use crate::rob::{Core, MemOutcome};
+use microbank_core::fxhash::{FxHashMap, FxHashSet};
 use microbank_core::Cycle;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// A main-memory line request leaving the CMP.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,11 +68,11 @@ struct Uncore {
     mshr: Vec<MshrFile>,
     prefetchers: Vec<StreamPrefetcher>,
     /// Lines resident because of a prefetch: (cluster, line).
-    prefetched: std::collections::HashSet<(usize, u64)>,
+    prefetched: FxHashSet<(usize, u64)>,
     dir: Directory,
     /// line → in-flight request id.
-    pending_by_line: HashMap<u64, u64>,
-    inflight: HashMap<u64, PendingMem>,
+    pending_by_line: FxHashMap<u64, u64>,
+    inflight: FxHashMap<u64, PendingMem>,
     /// Requests not yet accepted by a full controller queue.
     backlog: VecDeque<SubmittedReq>,
     next_id: u64,
@@ -236,14 +237,16 @@ impl Uncore {
         let cfg = self.cfg;
         let line = Self::line_of(addr);
         let store_done = now + cfg.l1_latency; // posted stores never block
-                                               // L1 hit.
-        if self.l1[core].contains(line) {
-            self.l1[core].access(line, is_write);
+                                               // L1 hit (single way scan).
+        if self.l1[core].probe_hit(line, is_write).is_some() {
             return MemOutcome::ReadyAt(now + cfg.l1_latency);
         }
         self.l1[core].misses += 1; // classified miss (fill path below)
-                                   // L2 hit.
-        if self.l2[cluster].contains(line) {
+                                   // L2 hit (single way scan; the LRU/dirty
+                                   // update commutes with the directory
+                                   // calls below, which never touch this
+                                   // cluster's own caches).
+        if let Some(way) = self.l2[cluster].probe_hit(line, is_write) {
             if self.prefetched.remove(&(cluster, line)) {
                 self.stats.prefetch_hits += 1;
             }
@@ -258,8 +261,18 @@ impl Uncore {
                 let _ = action; // data already local
                 self.apply_invalidations(line, inv, now, port);
             }
-            self.l2[cluster].access(line, is_write);
-            self.fill_hierarchy(core, cluster, line, false, now, port);
+            // `fill_hierarchy` specialized for a line we just probed in
+            // this L2: its `l2.fill(line, false)` finds the line present
+            // (the invalidations above touch other clusters only) and
+            // reduces to an LRU retouch of the known way, with no victim.
+            self.l2[cluster].retouch(way);
+            if let Some(v) = self.l1[core].fill(line, false) {
+                if v.dirty {
+                    if let Some(v2) = self.l2[cluster].fill(v.addr, true) {
+                        self.handle_l2_victim(cluster, v2.addr, v2.dirty, core as u16, now, port);
+                    }
+                }
+            }
             if is_write {
                 // Keep the L2 copy marked dirty after the refill.
                 self.l2[cluster].access(line, true);
@@ -371,6 +384,12 @@ pub struct CmpSystem<S: InstrSource> {
     cores: Vec<Core>,
     sources: Vec<S>,
     uncore: Uncore,
+    /// Per-core earliest-progress cycle: while `core_wake[i] > now`, core
+    /// `i` has a full ROB whose head is not ready before `core_wake[i]`,
+    /// so commit/dispatch would only bump the ROB-full stall counter —
+    /// which the skip accounts directly. Any fill for the core resets its
+    /// entry to 0 (see [`CmpSystem::on_fill`]).
+    core_wake: Vec<Cycle>,
 }
 
 impl<S: InstrSource> CmpSystem<S> {
@@ -385,6 +404,7 @@ impl<S: InstrSource> CmpSystem<S> {
             cfg,
             cores,
             sources,
+            core_wake: vec![0; cfg.cores],
             uncore: Uncore {
                 cfg,
                 l1: (0..cfg.cores)
@@ -399,10 +419,10 @@ impl<S: InstrSource> CmpSystem<S> {
                 prefetchers: (0..cfg.cores)
                     .map(|_| StreamPrefetcher::new(cfg.prefetch_degree))
                     .collect(),
-                prefetched: std::collections::HashSet::new(),
+                prefetched: FxHashSet::default(),
                 dir: Directory::new(),
-                pending_by_line: HashMap::new(),
-                inflight: HashMap::new(),
+                pending_by_line: FxHashMap::default(),
+                inflight: FxHashMap::default(),
                 backlog: VecDeque::new(),
                 next_id: 0,
                 stats: SystemStats::default(),
@@ -422,12 +442,22 @@ impl<S: InstrSource> CmpSystem<S> {
         }
         let uncore = &mut self.uncore;
         for (i, core) in self.cores.iter_mut().enumerate() {
+            // A core whose ROB is full with an unready head can make no
+            // progress: commit would pop nothing and dispatch would only
+            // count a ROB-full stall. Account the stall and skip the
+            // whole cache/closure path (dominant when most cores block on
+            // the massive-bank memory system).
+            if self.core_wake[i] > now {
+                core.account_rob_full_cycles(1);
+                continue;
+            }
             core.commit(now);
             let cluster = i / uncore.cfg.cores_per_cluster;
             let src = &mut self.sources[i];
             core.dispatch(now, src, |addr, w, seq| {
                 uncore.mem_access(i, cluster, addr, w, seq, now, port)
             });
+            self.core_wake[i] = core.stalled_until();
         }
     }
 
@@ -453,6 +483,7 @@ impl<S: InstrSource> CmpSystem<S> {
                 }
             }
             self.cores[core].complete_load(seq, ready);
+            self.core_wake[core] = 0; // re-evaluate stall next tick
         }
         // Release every core's MSHR entry for this line.
         for core in self.uncore.cores_of(p.cluster) {

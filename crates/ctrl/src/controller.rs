@@ -19,6 +19,8 @@ use microbank_core::config::MemConfig;
 use microbank_core::request::MemRequest;
 use microbank_core::Cycle;
 use microbank_telemetry::{CmdKind, CmdRecord, CmdTrace};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// A finished memory request, reported back to the CPU model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +124,15 @@ pub struct MemoryController {
     auto_pre: Vec<bool>,
     /// Minimalist-open close deadlines (Cycle::MAX = none).
     close_deadline: Vec<Cycle>,
+    /// Flats with a policy precharge currently due: exactly the set
+    /// `{f : auto_pre[f] || now >= close_deadline[f]}`, maintained
+    /// incrementally. A BTreeSet so idle-slot service walks due flats in
+    /// ascending flat order — the same order the old full scan used.
+    pre_due: BTreeSet<usize>,
+    /// Min-heap of pending (deadline, flat) pairs feeding `pre_due`. An
+    /// entry is stale unless `close_deadline[flat]` still equals its
+    /// deadline (cleared or re-armed deadlines are dropped lazily on pop).
+    deadline_heap: BinaryHeap<Reverse<(Cycle, usize)>>,
     /// Ranks currently being drained for refresh.
     refresh_draining: Vec<bool>,
     completions: Vec<Completion>,
@@ -168,6 +179,8 @@ impl MemoryController {
             pending: vec![None; n],
             auto_pre: vec![false; n],
             close_deadline: vec![Cycle::MAX; n],
+            pre_due: BTreeSet::new(),
+            deadline_heap: BinaryHeap::new(),
             refresh_draining: vec![false; cfg.ranks_per_channel],
             completions: Vec::new(),
             scratch: Vec::new(),
@@ -280,13 +293,9 @@ impl MemoryController {
 
         // Rank power management (no-op unless configured).
         if let Some(idle) = self.cfg.powerdown_idle {
-            let ranks = self.refresh_draining.len();
-            let mut has_work = vec![false; ranks];
-            for idx in self.queue.indices() {
-                has_work[self.queue.get(idx).loc.rank as usize] = true;
-            }
-            for (rank, &work) in has_work.iter().enumerate() {
-                let work = work || self.channel.refresh_due(rank, now);
+            for rank in 0..self.refresh_draining.len() {
+                let work =
+                    self.queue.pending_for_rank(rank) > 0 || self.channel.refresh_due(rank, now);
                 // An idle rank with speculatively-open rows (open-page
                 // policy) is precharged with one PREA so CKE can drop.
                 if !work
@@ -294,13 +303,7 @@ impl MemoryController {
                     && !self.channel.rank_all_idle(rank)
                     && self.channel.can_precharge_all(rank, now)
                 {
-                    self.channel.precharge_all(rank, now);
-                    let per_rank = self.auto_pre.len() / ranks;
-                    for flat in rank * per_rank..(rank + 1) * per_rank {
-                        self.auto_pre[flat] = false;
-                        self.close_deadline[flat] = Cycle::MAX;
-                    }
-                    self.trace_cmd(now, CmdKind::PreA, rank * per_rank, 0);
+                    self.issue_prea(rank, now);
                 }
                 self.channel.update_powerdown(rank, now, work);
             }
@@ -313,6 +316,31 @@ impl MemoryController {
             return;
         }
         self.service_policy_precharges(now);
+    }
+
+    /// Precharge every open μbank of `rank` with one PREA, clearing any
+    /// pending policy-precharge state for the rank. Traces one record per
+    /// μbank actually closed, each with its open row (the scan is guarded
+    /// so an untraced run never pays it).
+    fn issue_prea(&mut self, rank: usize, now: Cycle) {
+        let per_rank = self.auto_pre.len() / self.refresh_draining.len();
+        let lo = rank * per_rank;
+        let hi = lo + per_rank;
+        if self.trace.is_some() {
+            for flat in lo..hi {
+                if let Some(row) = self.channel.open_row_flat(flat) {
+                    self.trace_cmd(now, CmdKind::PreA, flat, row);
+                }
+            }
+        }
+        self.channel.precharge_all(rank, now);
+        for flat in lo..hi {
+            self.auto_pre[flat] = false;
+            self.close_deadline[flat] = Cycle::MAX;
+        }
+        while let Some(&flat) = self.pre_due.range(lo..hi).next() {
+            self.pre_due.remove(&flat);
+        }
     }
 
     /// Refresh management: when a rank's tREFI deadline passes, drain its
@@ -335,12 +363,7 @@ impl MemoryController {
             }
             // Drain with one PREA once every open bank may precharge.
             if self.channel.can_precharge_all(rank, now) {
-                self.channel.precharge_all(rank, now);
-                for flat in rank * per_rank..(rank + 1) * per_rank {
-                    self.auto_pre[flat] = false;
-                    self.close_deadline[flat] = Cycle::MAX;
-                }
-                self.trace_cmd(now, CmdKind::PreA, rank * per_rank, 0);
+                self.issue_prea(rank, now);
                 return true;
             }
         }
@@ -352,15 +375,12 @@ impl MemoryController {
         if self.queue.is_empty() {
             return false;
         }
-        {
-            let (scheduler, queue, cfg) = (&mut self.scheduler, &self.queue, &self.cfg);
-            scheduler.maybe_form_batch(queue, |r| r.loc.ubank_flat(cfg));
-        }
+        self.scheduler.maybe_form_batch(&self.queue);
 
         self.scratch.clear();
         for idx in self.queue.indices() {
             let r = self.queue.get(idx);
-            let flat = r.loc.ubank_flat(&self.cfg);
+            let flat = r.flat as usize;
             let rank = r.loc.rank as usize;
             if self.refresh_draining[rank] {
                 continue;
@@ -379,10 +399,7 @@ impl MemoryController {
                 Some(open) => {
                     // Conflict: close the open row unless another queued
                     // request still wants it (serve hits before closing).
-                    let cfg = &self.cfg;
-                    let has_hit = self
-                        .queue
-                        .any_hit_for(flat, open, |m| m.loc.ubank_flat(cfg));
+                    let has_hit = self.queue.any_hit_for(flat, open);
                     if !has_hit && self.channel.can_precharge_flat(flat, now) {
                         Some(Action::PrechargeConflict)
                     } else {
@@ -430,19 +447,24 @@ impl MemoryController {
             return false;
         };
         let r = *self.queue.get(best.idx);
-        let flat = r.loc.ubank_flat(&self.cfg);
+        let flat = r.flat as usize;
         match best.action {
             Action::Activate => {
                 self.channel.activate_flat(flat, r.loc.row, now);
                 self.auto_pre[flat] = false;
                 self.close_deadline[flat] = Cycle::MAX;
+                self.pre_due.remove(&flat);
                 self.trace_cmd(now, CmdKind::Act, flat, r.loc.row);
             }
             Action::PrechargeConflict => {
+                // Trace the row actually being closed, not the row of the
+                // conflicting request that triggered the close.
+                let closed = self.channel.open_row_flat(flat).unwrap_or(0);
                 self.channel.precharge_flat(flat, now);
                 self.auto_pre[flat] = false;
                 self.close_deadline[flat] = Cycle::MAX;
-                self.trace_cmd(now, CmdKind::Pre, flat, r.loc.row);
+                self.pre_due.remove(&flat);
+                self.trace_cmd(now, CmdKind::Pre, flat, closed);
             }
             Action::Column => {
                 let done = if r.is_write() {
@@ -456,7 +478,7 @@ impl MemoryController {
                     CmdKind::Rd
                 };
                 self.trace_cmd(now, kind, flat, r.loc.row);
-                self.queue.remove(best.idx, flat);
+                self.queue.remove(best.idx);
                 self.scheduler.note_serviced(r.id);
                 if r.is_write() {
                     self.stats.served_writes += 1;
@@ -486,7 +508,16 @@ impl MemoryController {
             (_, PolicyKind::Open) => PageDecision::KeepOpen,
             (_, PolicyKind::Close) => PageDecision::Close,
             (_, PolicyKind::MinimalistOpen { window_cycles }) => {
-                self.close_deadline[flat] = now + window_cycles;
+                let deadline = now + window_cycles;
+                self.close_deadline[flat] = deadline;
+                self.deadline_heap.push(Reverse((deadline, flat)));
+                // Re-arming supersedes any already-elapsed deadline; the
+                // flat is only still due if a predictor precharge is also
+                // pending (disjoint policies in practice, but cheap to
+                // honor exactly).
+                if !self.auto_pre[flat] {
+                    self.pre_due.remove(&flat);
+                }
                 PageDecision::KeepOpen
             }
             (PredictorImpl::Local(l), _) => l.predict(flat),
@@ -497,6 +528,7 @@ impl MemoryController {
         };
         if decision == PageDecision::Close {
             self.auto_pre[flat] = true;
+            self.pre_due.insert(flat);
         }
         self.pending[flat] = Some(PendingDecision {
             predicted: decision,
@@ -506,17 +538,85 @@ impl MemoryController {
     }
 
     /// Issue policy-driven precharges on otherwise idle command slots.
+    /// Walks only the due set (lowest flat first, matching the old full
+    /// scan) instead of every μbank in the channel.
     fn service_policy_precharges(&mut self, now: Cycle) {
-        for flat in 0..self.auto_pre.len() {
-            let due = self.auto_pre[flat] || now >= self.close_deadline[flat];
-            if due && self.channel.can_precharge_flat(flat, now) {
-                self.channel.precharge_flat(flat, now);
-                self.auto_pre[flat] = false;
-                self.close_deadline[flat] = Cycle::MAX;
-                self.trace_cmd(now, CmdKind::Pre, flat, 0);
-                return;
+        // Promote elapsed deadlines into the due set, dropping entries
+        // whose deadline was cleared or re-armed since they were pushed.
+        while let Some(&Reverse((deadline, flat))) = self.deadline_heap.peek() {
+            if deadline > now {
+                break;
+            }
+            self.deadline_heap.pop();
+            if self.close_deadline[flat] == deadline {
+                self.pre_due.insert(flat);
             }
         }
+        let Some(flat) = self
+            .pre_due
+            .iter()
+            .copied()
+            .find(|&f| self.channel.can_precharge_flat(f, now))
+        else {
+            return;
+        };
+        let row = self.channel.open_row_flat(flat).unwrap_or(0);
+        self.channel.precharge_flat(flat, now);
+        self.auto_pre[flat] = false;
+        self.close_deadline[flat] = Cycle::MAX;
+        self.pre_due.remove(&flat);
+        self.trace_cmd(now, CmdKind::Pre, flat, row);
+    }
+
+    /// If every [`MemoryController::tick`] from `now` on is provably a
+    /// stats-only no-op until some future cycle, return that cycle (the
+    /// earliest pending deadline or refresh; `Cycle::MAX` when nothing is
+    /// pending at all). Returns `None` whenever the controller might act,
+    /// so callers can always fall back to per-cycle ticking.
+    ///
+    /// The conditions mirror `tick`'s phases: rank power management must
+    /// be off (it has its own per-cycle state machine), the queue empty
+    /// (no demand scheduling), no refresh drain in progress and none due,
+    /// and no policy precharge due. Skipped cycles must be reported via
+    /// [`MemoryController::account_idle_ticks`] to keep occupancy
+    /// statistics identical to per-cycle ticking.
+    pub fn idle_until(&mut self, now: Cycle) -> Option<Cycle> {
+        if self.cfg.powerdown_idle.is_some() || !self.queue.is_empty() {
+            return None;
+        }
+        if self.refresh_draining.iter().any(|&d| d) || !self.pre_due.is_empty() {
+            return None;
+        }
+        let mut next = Cycle::MAX;
+        // Drop stale heap heads so a dead deadline can't pin the horizon.
+        while let Some(&Reverse((deadline, flat))) = self.deadline_heap.peek() {
+            if self.close_deadline[flat] != deadline {
+                self.deadline_heap.pop();
+                continue;
+            }
+            if deadline <= now {
+                return None;
+            }
+            next = next.min(deadline);
+            break;
+        }
+        for rank in 0..self.refresh_draining.len() {
+            if let Some(at) = self.channel.next_refresh_at(rank) {
+                if at <= now {
+                    return None;
+                }
+                next = next.min(at);
+            }
+        }
+        Some(next)
+    }
+
+    /// Account `n` tick calls that were skipped as provably idle (queue
+    /// empty, nothing issued): identical stat effect to `n` real `tick`
+    /// calls on an idle controller.
+    pub fn account_idle_ticks(&mut self, n: u64) {
+        self.stats.tick_calls += n;
+        self.stats.occupancy_hist.record_n(0, n);
     }
 
     /// The policy's speculative-decision hit rate (Fig. 13 right axis).

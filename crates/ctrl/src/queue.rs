@@ -2,22 +2,50 @@
 //!
 //! Each memory controller holds pending requests in a 32-entry queue
 //! (§VI-A). The scheduler scans it every command slot, so the queue keeps
-//! simple dense storage plus the per-bank occupancy counts the page
-//! policies consult ("as long as the queue is not empty, the controller can
-//! make an effective decision" — §V).
+//! simple dense storage plus three incrementally-maintained indexes the
+//! hot path consults in O(1):
+//!
+//! - per-μbank occupancy counts, which the page policies consult ("as long
+//!   as the queue is not empty, the controller can make an effective
+//!   decision" — §V);
+//! - per-rank occupancy counts, which the power-down path consults without
+//!   rescanning the queue every tick;
+//! - per-(μbank, row) match counts, which turn the scheduler's
+//!   hit-before-close conflict check from an O(queue) rescan per candidate
+//!   into a single map lookup.
+//!
+//! The queue also stamps each entry's flat μbank index
+//! ([`MemRequest::flat`]) on push, so per-tick scans never recompute
+//! [`microbank_core::address::Location::ubank_flat`].
 
 use microbank_core::config::MemConfig;
 use microbank_core::request::MemRequest;
+use std::collections::HashMap;
 
-/// Bounded request queue with per-μbank occupancy tracking.
+// Hot-loop hasher shared across the workspace (see `microbank_core::fxhash`
+// for why the swap from SipHash is behavior-identical here).
+pub use microbank_core::fxhash::{FxBuild, FxHasher};
+
+/// Bounded request queue with per-μbank, per-rank, and per-(μbank, row)
+/// occupancy tracking.
 #[derive(Debug, Clone)]
 pub struct RequestQueue {
     entries: Vec<MemRequest>,
     capacity: usize,
     /// Pending-request count per flat μbank index (channel-local).
     per_bank: Vec<u32>,
+    /// Pending-request count per rank (for the power-down path).
+    per_rank: Vec<u32>,
+    /// Pending-request count per (flat μbank, row): the scheduler's
+    /// "does any queued request still want this open row?" check.
+    row_match: HashMap<u64, u32, FxBuild>,
     /// Queued write (writeback) count, for write-drain watermarks.
     writes: usize,
+}
+
+#[inline]
+fn row_key(flat_ubank: usize, row: u32) -> u64 {
+    ((flat_ubank as u64) << 32) | row as u64
 }
 
 impl RequestQueue {
@@ -26,6 +54,8 @@ impl RequestQueue {
             entries: Vec::with_capacity(cfg.queue_size),
             capacity: cfg.queue_size,
             per_bank: vec![0; cfg.ubanks_per_channel()],
+            per_rank: vec![0; cfg.ranks_per_channel],
+            row_match: HashMap::with_capacity_and_hasher(cfg.queue_size * 2, FxBuild::default()),
             writes: 0,
         }
     }
@@ -52,12 +82,19 @@ impl RequestQueue {
     }
 
     /// Try to enqueue; returns `false` (and drops nothing) when full. The
-    /// request's `loc` must already be decoded and channel-local.
-    pub fn push(&mut self, req: MemRequest, flat_ubank: usize) -> bool {
+    /// request's `loc` must already be decoded and channel-local; its
+    /// cached flat index is stamped here.
+    pub fn push(&mut self, mut req: MemRequest, flat_ubank: usize) -> bool {
         if self.is_full() {
             return false;
         }
+        req.flat = flat_ubank as u32;
         self.per_bank[flat_ubank] += 1;
+        self.per_rank[req.loc.rank as usize] += 1;
+        *self
+            .row_match
+            .entry(row_key(flat_ubank, req.loc.row))
+            .or_insert(0) += 1;
         self.writes += req.is_write() as usize;
         self.entries.push(req);
         true
@@ -65,9 +102,22 @@ impl RequestQueue {
 
     /// Remove the entry at `idx` (swap-remove; order is reconstructed from
     /// arrival stamps by the scheduler, so storage order is free).
-    pub fn remove(&mut self, idx: usize, flat_ubank: usize) -> MemRequest {
-        self.per_bank[flat_ubank] -= 1;
+    pub fn remove(&mut self, idx: usize) -> MemRequest {
         let req = self.entries.swap_remove(idx);
+        let flat = req.flat as usize;
+        self.per_bank[flat] -= 1;
+        self.per_rank[req.loc.rank as usize] -= 1;
+        match self.row_match.entry(row_key(flat, req.loc.row)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                *e.get_mut() -= 1;
+                if *e.get() == 0 {
+                    e.remove();
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(_) => {
+                debug_assert!(false, "row_match count missing on remove");
+            }
+        }
         self.writes -= req.is_write() as usize;
         req
     }
@@ -85,17 +135,23 @@ impl RequestQueue {
         self.per_bank[flat_ubank]
     }
 
+    /// Number of queued requests targeting the given rank.
+    pub fn pending_for_rank(&self, rank: usize) -> u32 {
+        self.per_rank[rank]
+    }
+
+    /// Number of queued requests targeting `flat_ubank` with `row`
+    /// (incrementally maintained; O(1)).
+    pub fn row_match_count(&self, flat_ubank: usize, row: u32) -> u32 {
+        self.row_match
+            .get(&row_key(flat_ubank, row))
+            .copied()
+            .unwrap_or(0)
+    }
+
     /// Does any queued request target `flat_ubank` with `row`?
-    /// `flat_of` maps an entry to its flat μbank index.
-    pub fn any_hit_for(
-        &self,
-        flat_ubank: usize,
-        row: u32,
-        flat_of: impl Fn(&MemRequest) -> usize,
-    ) -> bool {
-        self.entries
-            .iter()
-            .any(|r| r.loc.row == row && flat_of(r) == flat_ubank)
+    pub fn any_hit_for(&self, flat_ubank: usize, row: u32) -> bool {
+        self.row_match_count(flat_ubank, row) > 0
     }
 
     /// Indices of all entries, for scheduler scans.
@@ -137,6 +193,15 @@ mod tests {
     }
 
     #[test]
+    fn push_stamps_cached_flat_index() {
+        let c = cfg();
+        let mut q = RequestQueue::new(&c);
+        let (r, f) = req(0, 0x4000, &c);
+        q.push(r, f);
+        assert_eq!(q.get(0).flat as usize, f);
+    }
+
+    #[test]
     fn per_bank_counts_track_push_and_remove() {
         let c = cfg();
         let mut q = RequestQueue::new(&c);
@@ -149,24 +214,48 @@ mod tests {
         q.push(r2, f2);
         assert_eq!(q.pending_for_bank(f1), 1);
         assert_eq!(q.pending_for_bank(f2), 1);
+        assert_eq!(q.pending_for_rank(0), 2);
         let idx = q.indices().find(|&i| q.get(i).id == 0).unwrap();
-        q.remove(idx, f1);
+        q.remove(idx);
         assert_eq!(q.pending_for_bank(f1), 0);
         assert_eq!(q.pending_for_bank(f2), 1);
+        assert_eq!(q.pending_for_rank(0), 1);
         assert_eq!(q.len(), 1);
     }
 
     #[test]
     fn any_hit_for_matches_row() {
         let c = cfg();
-        let map = AddressMap::new(&c);
         let mut q = RequestQueue::new(&c);
         let (r, f) = req(0, 0, &c);
         let row = r.loc.row;
         q.push(r, f);
-        let flat_of = |m: &MemRequest| m.loc.ubank_flat(&c);
-        assert!(q.any_hit_for(f, row, flat_of));
-        assert!(!q.any_hit_for(f, row + 1, |m: &MemRequest| m.loc.ubank_flat(&c)));
-        let _ = map;
+        assert!(q.any_hit_for(f, row));
+        assert!(!q.any_hit_for(f, row + 1));
+    }
+
+    #[test]
+    fn row_match_counts_accumulate_and_drain() {
+        let c = cfg();
+        let mut q = RequestQueue::new(&c);
+        // Two requests to the same μbank row (consecutive lines share a
+        // row at row-granularity interleaving), one to a different bank.
+        let (r1, f1) = req(0, 0, &c);
+        let (r2, f2) = req(1, 64, &c);
+        let (r3, f3) = req(2, 0x4000, &c);
+        assert_eq!(f1, f2);
+        let row = r1.loc.row;
+        q.push(r1, f1);
+        q.push(r2, f2);
+        q.push(r3, f3);
+        assert_eq!(q.row_match_count(f1, row), 2);
+        assert_eq!(q.row_match_count(f3, row), 1);
+        let idx = q.indices().find(|&i| q.get(i).id == 0).unwrap();
+        q.remove(idx);
+        assert_eq!(q.row_match_count(f1, row), 1);
+        let idx = q.indices().find(|&i| q.get(i).id == 1).unwrap();
+        q.remove(idx);
+        assert_eq!(q.row_match_count(f1, row), 0);
+        assert!(!q.any_hit_for(f1, row));
     }
 }

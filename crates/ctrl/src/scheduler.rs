@@ -10,8 +10,7 @@
 //! spatial locality that can be extracted from the request queue", §VI-C),
 //! and age breaks ties.
 
-use crate::queue::RequestQueue;
-use microbank_core::request::MemRequest;
+use crate::queue::{FxBuild, RequestQueue};
 use microbank_core::Cycle;
 use std::collections::{HashMap, HashSet};
 
@@ -54,21 +53,39 @@ pub struct Candidate {
 }
 
 /// Stateful scheduler (batch bookkeeping for PAR-BS).
+///
+/// Invariant: `marked` is always a subset of the ids currently in the
+/// queue. Marks are created only from queue entries in
+/// [`Scheduler::maybe_form_batch`] and removed only via
+/// [`Scheduler::note_serviced`], which the controller calls exactly when it
+/// removes the entry from the queue. "Any queued request is still marked"
+/// is therefore equivalent to `!marked.is_empty()`, with no queue scan.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
     kind: SchedulerKind,
-    marked: HashSet<u64>,
-    thread_rank: HashMap<u16, u32>,
+    marked: HashSet<u64, FxBuild>,
+    thread_rank: HashMap<u16, u32, FxBuild>,
     pub batches_formed: u64,
+    // Reusable batch-formation scratch (cleared each use; the maps are
+    // never iterated, and `threads` is fully sorted by a total key, so the
+    // hasher cannot influence behavior).
+    order: Vec<usize>,
+    per_pair: HashMap<(u16, u32), usize, FxBuild>,
+    per_thread: HashMap<u16, u32, FxBuild>,
+    threads: Vec<(u16, u32)>,
 }
 
 impl Scheduler {
     pub fn new(kind: SchedulerKind) -> Self {
         Scheduler {
             kind,
-            marked: HashSet::new(),
-            thread_rank: HashMap::new(),
+            marked: HashSet::default(),
+            thread_rank: HashMap::default(),
             batches_formed: 0,
+            order: Vec::new(),
+            per_pair: HashMap::default(),
+            per_thread: HashMap::default(),
+            threads: Vec::new(),
         }
     }
 
@@ -93,42 +110,45 @@ impl Scheduler {
     }
 
     /// Form a new batch if the current one is exhausted (PAR-BS only).
-    /// `flat_of` maps an entry to its flat μbank index.
-    pub fn maybe_form_batch(
-        &mut self,
-        queue: &RequestQueue,
-        flat_of: impl Fn(&MemRequest) -> usize,
-    ) {
+    /// Uses each entry's cached flat μbank index ([`MemRequest::flat`],
+    /// stamped by the queue on push).
+    ///
+    /// [`MemRequest::flat`]: microbank_core::request::MemRequest::flat
+    pub fn maybe_form_batch(&mut self, queue: &RequestQueue) {
         let SchedulerKind::ParBs { marking_cap } = self.kind else {
             return;
         };
-        if queue.iter().any(|r| self.marked.contains(&r.id)) {
-            return; // batch still in flight
+        if !self.marked.is_empty() {
+            return; // batch still in flight (marked ⊆ queued, see invariant)
         }
-        self.marked.clear();
         self.thread_rank.clear();
         if queue.is_empty() {
             return;
         }
         // Sort entry indices by age so we mark the oldest per (thread, bank).
-        let mut order: Vec<usize> = queue.indices().collect();
-        order.sort_by_key(|&i| (queue.get(i).arrival, queue.get(i).id));
-        let mut per_pair: HashMap<(u16, usize), usize> = HashMap::new();
-        let mut per_thread: HashMap<u16, u32> = HashMap::new();
-        for i in order {
+        self.order.clear();
+        self.order.extend(queue.indices());
+        self.order
+            .sort_unstable_by_key(|&i| (queue.get(i).arrival, queue.get(i).id));
+        self.per_pair.clear();
+        self.per_thread.clear();
+        for &i in &self.order {
             let r = queue.get(i);
-            let pair = (r.thread, flat_of(r));
-            let n = per_pair.entry(pair).or_insert(0);
+            let pair = (r.thread, r.flat);
+            let n = self.per_pair.entry(pair).or_insert(0);
             if *n < marking_cap {
                 *n += 1;
                 self.marked.insert(r.id);
-                *per_thread.entry(r.thread).or_insert(0) += 1;
+                *self.per_thread.entry(r.thread).or_insert(0) += 1;
             }
         }
-        // Shortest job first: fewest marked requests → rank 0.
-        let mut threads: Vec<(u16, u32)> = per_thread.into_iter().collect();
-        threads.sort_by_key(|&(t, n)| (n, t));
-        for (rank, (t, _)) in threads.into_iter().enumerate() {
+        // Shortest job first: fewest marked requests → rank 0. Sorted by a
+        // total key, so the map's iteration order is immaterial.
+        self.threads.clear();
+        self.threads
+            .extend(self.per_thread.iter().map(|(&t, &n)| (t, n)));
+        self.threads.sort_unstable_by_key(|&(t, n)| (n, t));
+        for (rank, &(t, _)) in self.threads.iter().enumerate() {
             self.thread_rank.insert(t, rank as u32);
         }
         self.batches_formed += 1;
@@ -162,10 +182,6 @@ mod tests {
         r.loc = map.decode(addr);
         let flat = r.loc.ubank_flat(cfg);
         assert!(queue.push(r, flat));
-    }
-
-    fn flat_of(cfg: &MemConfig) -> impl Fn(&MemRequest) -> usize + '_ {
-        move |r| r.loc.ubank_flat(cfg)
     }
 
     #[test]
@@ -210,7 +226,7 @@ mod tests {
             push(&mut q, &c, i, 0, i * 64); // iB=13 → same row, same bank
         }
         let mut s = Scheduler::new(SchedulerKind::ParBs { marking_cap: 5 });
-        s.maybe_form_batch(&q, flat_of(&c));
+        s.maybe_form_batch(&q);
         let marked = q.iter().filter(|r| s.is_marked(r.id)).count();
         assert_eq!(marked, 5);
         assert_eq!(s.batches_formed, 1);
@@ -226,7 +242,7 @@ mod tests {
         }
         push(&mut q, &c, 99, 1, 5 << 20);
         let mut s = Scheduler::new(SchedulerKind::ParBs { marking_cap: 5 });
-        s.maybe_form_batch(&q, flat_of(&c));
+        s.maybe_form_batch(&q);
         assert!(s.rank_of(1) < s.rank_of(0), "shortest job first");
     }
 
@@ -236,19 +252,18 @@ mod tests {
         let mut q = RequestQueue::new(&c);
         push(&mut q, &c, 1, 0, 0);
         let mut s = Scheduler::new(SchedulerKind::ParBs { marking_cap: 5 });
-        s.maybe_form_batch(&q, flat_of(&c));
+        s.maybe_form_batch(&q);
         assert!(s.is_marked(1));
         // New arrivals do not join the in-flight batch.
         push(&mut q, &c, 2, 1, 1 << 20);
-        s.maybe_form_batch(&q, flat_of(&c));
+        s.maybe_form_batch(&q);
         assert!(!s.is_marked(2));
         assert_eq!(s.batches_formed, 1);
         // Drain the batch; next call forms a fresh one including id 2.
         let idx = q.indices().find(|&i| q.get(i).id == 1).unwrap();
-        let f = q.get(idx).loc.ubank_flat(&c);
-        q.remove(idx, f);
+        q.remove(idx);
         s.note_serviced(1);
-        s.maybe_form_batch(&q, flat_of(&c));
+        s.maybe_form_batch(&q);
         assert!(s.is_marked(2));
         assert_eq!(s.batches_formed, 2);
     }
@@ -259,7 +274,7 @@ mod tests {
         let mut q = RequestQueue::new(&c);
         push(&mut q, &c, 1, 0, 0);
         let mut s = Scheduler::new(SchedulerKind::ParBs { marking_cap: 5 });
-        s.maybe_form_batch(&q, flat_of(&c));
+        s.maybe_form_batch(&q);
         let cands = [
             // Unmarked row hit (arrived after the batch formed)…
             Candidate {
@@ -287,7 +302,7 @@ mod tests {
         let mut q = RequestQueue::new(&c);
         push(&mut q, &c, 1, 0, 0);
         let mut s = Scheduler::new(SchedulerKind::FrFcfs);
-        s.maybe_form_batch(&q, flat_of(&c));
+        s.maybe_form_batch(&q);
         assert!(!s.is_marked(1));
         assert_eq!(s.batches_formed, 0);
     }

@@ -1,0 +1,110 @@
+//! Property tests for the request queue's incrementally-maintained
+//! indexes: under arbitrary interleavings of pushes and removals, the
+//! per-(μbank, row) match counts, per-μbank counts, per-rank counts, and
+//! write counter must always agree with a naive rescan of the queue
+//! contents. The scheduler's hit-before-close conflict check trusts these
+//! counts instead of rescanning, so any drift here silently changes
+//! scheduling decisions.
+
+use microbank_core::address::AddressMap;
+use microbank_core::config::MemConfig;
+use microbank_core::request::{MemRequest, ReqKind};
+use microbank_ctrl::queue::RequestQueue;
+use proptest::prelude::*;
+
+fn cfg() -> MemConfig {
+    MemConfig::lpddr_tsi().with_ubanks(4, 4).with_queue_size(16)
+}
+
+/// Naive recomputation of every index from the queue's entries.
+fn rescan(q: &RequestQueue, cfg: &MemConfig) -> Naive {
+    let mut n = Naive {
+        per_bank: vec![0; cfg.ubanks_per_channel()],
+        per_rank: vec![0; cfg.ranks_per_channel],
+        row_match: std::collections::BTreeMap::new(),
+        writes: 0,
+    };
+    for r in q.iter() {
+        let flat = r.flat as usize;
+        n.per_bank[flat] += 1;
+        n.per_rank[r.loc.rank as usize] += 1;
+        *n.row_match.entry((flat, r.loc.row)).or_insert(0u32) += 1;
+        n.writes += r.is_write() as usize;
+    }
+    n
+}
+
+struct Naive {
+    per_bank: Vec<u32>,
+    per_rank: Vec<u32>,
+    row_match: std::collections::BTreeMap<(usize, u32), u32>,
+    writes: usize,
+}
+
+fn check_agreement(q: &RequestQueue, cfg: &MemConfig) {
+    let naive = rescan(q, cfg);
+    for (flat, &want) in naive.per_bank.iter().enumerate() {
+        assert_eq!(q.pending_for_bank(flat), want, "per-bank[{flat}]");
+    }
+    for (rank, &want) in naive.per_rank.iter().enumerate() {
+        assert_eq!(q.pending_for_rank(rank), want, "per-rank[{rank}]");
+    }
+    assert_eq!(q.writes_queued(), naive.writes, "write count");
+    // Every (μbank, row) pair present in the queue must match its count…
+    for (&(flat, row), &want) in &naive.row_match {
+        assert_eq!(
+            q.row_match_count(flat, row),
+            want,
+            "row_match[{flat},{row}]"
+        );
+        assert!(q.any_hit_for(flat, row));
+    }
+    // …and pairs absent from the queue must report zero (the map entry is
+    // removed, not left at a stale value).
+    for r in q.iter() {
+        let flat = r.flat as usize;
+        let absent_row = r.loc.row.wrapping_add(1);
+        if !naive.row_match.contains_key(&(flat, absent_row)) {
+            assert_eq!(q.row_match_count(flat, absent_row), 0);
+            assert!(!q.any_hit_for(flat, absent_row));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn incremental_indexes_match_naive_rescan(
+        // Each op: address (line-aligned by masking), write flag, and a
+        // removal selector consumed when the op is a removal.
+        ops in prop::collection::vec((0u64..(1 << 26), any::<bool>(), any::<u8>()), 1..200),
+    ) {
+        let c = cfg();
+        let map = AddressMap::new(&c);
+        let mut q = RequestQueue::new(&c);
+        let mut next_id = 0u64;
+        for (raw, is_write, sel) in ops {
+            // Mixed workload: mostly pushes, removals once the queue has
+            // entries (sel odd → removal).
+            if sel % 2 == 1 && !q.is_empty() {
+                let idx = (sel as usize / 2) % q.len();
+                q.remove(idx);
+            } else if !q.is_full() {
+                let addr = raw & !63;
+                let kind = if is_write { ReqKind::Write } else { ReqKind::Read };
+                let mut r = MemRequest::new(next_id, addr, kind, 0, next_id);
+                next_id += 1;
+                r.loc = map.decode(addr);
+                let flat = r.loc.ubank_flat(&c);
+                prop_assert!(q.push(r, flat));
+            }
+            check_agreement(&q, &c);
+        }
+        // Drain fully: counts must return to zero everywhere.
+        while !q.is_empty() {
+            q.remove(0);
+            check_agreement(&q, &c);
+        }
+        prop_assert_eq!(q.writes_queued(), 0);
+    }
+}

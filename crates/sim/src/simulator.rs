@@ -217,6 +217,60 @@ impl SimResult {
     }
 }
 
+/// Enqueue-time store for latency accounting. Request ids come from one
+/// monotone counter, so instead of hashing each id into a map, slot `id`
+/// lives at `id - base` in a dense ring. Backlogged requests can enqueue
+/// out of order (they keep their id across retries), so `base` advances
+/// only past slots whose request has *completed* — an empty slot may still
+/// be claimed later.
+struct EnqueueSlab {
+    base: u64,
+    slots: std::collections::VecDeque<Cycle>,
+}
+
+/// Slot never filled (id not yet enqueued, or a request class the caller
+/// doesn't track).
+const SLOT_EMPTY: Cycle = Cycle::MAX;
+/// Slot filled and consumed; safe for `base` to advance past.
+const SLOT_CONSUMED: Cycle = Cycle::MAX - 1;
+
+impl EnqueueSlab {
+    fn new() -> Self {
+        EnqueueSlab {
+            base: 0,
+            slots: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn insert(&mut self, id: u64, at: Cycle) {
+        debug_assert!(at < SLOT_CONSUMED);
+        if self.slots.is_empty() {
+            self.base = id;
+        }
+        debug_assert!(id >= self.base, "slab advanced past a live id");
+        let Some(idx) = id.checked_sub(self.base) else {
+            return;
+        };
+        if idx as usize >= self.slots.len() {
+            self.slots.resize(idx as usize + 1, SLOT_EMPTY);
+        }
+        self.slots[idx as usize] = at;
+    }
+
+    /// Consume `id`'s recorded cycle (None if never inserted).
+    fn remove(&mut self, id: u64) -> Option<Cycle> {
+        let idx = id.checked_sub(self.base)? as usize;
+        let slot = self.slots.get_mut(idx)?;
+        let out = (*slot < SLOT_CONSUMED).then_some(*slot);
+        *slot = SLOT_CONSUMED;
+        while self.slots.front() == Some(&SLOT_CONSUMED) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        out
+    }
+}
+
 #[derive(PartialEq, Eq)]
 struct Delivery {
     at: Cycle,
@@ -345,8 +399,15 @@ fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
     let mut heat_at_warmup: Vec<HeatCounters> = Vec::new();
 
     // Enqueue-time records for latency measurement (id → enqueue cycle).
-    let mut enqueue_time: std::collections::HashMap<u64, Cycle> = std::collections::HashMap::new();
+    let mut enqueue_time = EnqueueSlab::new();
     let mut read_lat_samples: u64 = 0;
+
+    // Idle-skip state: `ctrl_wake[i]` is the first cycle at which
+    // controller `i`'s tick could do anything (0 = must tick). Skipped
+    // stride slots are counted and accounted in bulk after the loop —
+    // a skipped tick is by construction a stats-only no-op.
+    let mut ctrl_wake: Vec<Cycle> = vec![0; ctrls.len()];
+    let mut ctrl_skipped: Vec<u64> = vec![0; ctrls.len()];
 
     timer.mark("setup");
     for now in 0..total {
@@ -375,16 +436,31 @@ fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
             }
             dram_at_warmup = d;
         }
-        // Controllers issue commands on their slot cadence.
+        // Controllers issue commands on their slot cadence. A controller
+        // that proved itself idle sleeps until its wake cycle (or until an
+        // enqueue resets it — see `TrackingRouter::submit`).
         if now % cfg.ctrl_stride == 0 {
-            for c in ctrls.iter_mut() {
+            for (i, c) in ctrls.iter_mut().enumerate() {
+                if ctrl_wake[i] > now {
+                    ctrl_skipped[i] += 1;
+                    continue;
+                }
                 c.tick(now);
                 c.take_completions(&mut completions);
+                ctrl_wake[i] = c.idle_until(now).unwrap_or(0);
             }
             for comp in completions.drain(..) {
-                if !comp.is_write {
-                    if let Some(t0) = enqueue_time.remove(&comp.id) {
+                if comp.is_write {
+                    // Consume the slot so the slab's base can advance.
+                    enqueue_time.remove(comp.id);
+                } else {
+                    if let Some(t0) = enqueue_time.remove(comp.id) {
                         if now >= cfg.warmup_cycles {
+                            // A read enqueued during warmup but completed in
+                            // the window counts only its in-window portion;
+                            // latency accrued before measurement began is a
+                            // warmup artifact, not window behavior.
+                            let t0 = t0.max(cfg.warmup_cycles);
                             let lat = comp.at.saturating_sub(t0);
                             read_latency_acc += lat;
                             read_latency_hist.record(lat);
@@ -404,6 +480,7 @@ fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
             let mut router = TrackingRouter {
                 ctrls: &mut ctrls,
                 enqueue_time: &mut enqueue_time,
+                ctrl_wake: &mut ctrl_wake,
             };
             cmp.on_fill(d.id, now, &mut router);
         }
@@ -411,6 +488,7 @@ fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
         let mut router = TrackingRouter {
             ctrls: &mut ctrls,
             enqueue_time: &mut enqueue_time,
+            ctrl_wake: &mut ctrl_wake,
         };
         cmp.tick(now, &mut router);
 
@@ -451,6 +529,12 @@ fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
         }
     }
     timer.mark("measure");
+
+    // Fold skipped idle slots back into controller stats so occupancy
+    // accounting is identical to per-cycle ticking.
+    for (c, &n) in ctrls.iter_mut().zip(&ctrl_skipped) {
+        c.account_idle_ticks(n);
+    }
 
     // Gather measurement-window deltas.
     let committed = cmp.total_committed() - committed_at_warmup;
@@ -549,10 +633,43 @@ fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
     (result, report)
 }
 
-/// Router that also records enqueue times for read-latency accounting.
+/// Compact behavior fingerprint for the golden determinism suite:
+/// committed instructions, the full DRAM counter set, the read-latency
+/// histogram's (count, sum), and an order-sensitive FNV checksum of
+/// per-core committed counts. Every element is a function of *simulated*
+/// behavior only (never wall clock), so hot-path refactors must keep it
+/// bit-identical. Regenerate the committed table with the `golden_dump`
+/// binary when a PR deliberately changes simulated behavior.
+pub fn golden_fingerprint(r: &SimResult) -> [u64; 13] {
+    let per_core = r
+        .per_core_committed
+        .iter()
+        .fold(0xcbf29ce484222325u64, |h, &c| {
+            (h ^ c).wrapping_mul(0x100000001b3)
+        });
+    [
+        r.committed,
+        r.dram.reads,
+        r.dram.writes,
+        r.dram.activates,
+        r.dram.precharges,
+        r.dram.refreshes,
+        r.dram.row_hits,
+        r.dram.row_conflicts,
+        r.dram.row_closed,
+        r.dram.data_bus_busy,
+        r.read_latency_hist.count(),
+        r.read_latency_hist.sum(),
+        per_core,
+    ]
+}
+
+/// Router that also records enqueue times for read-latency accounting and
+/// wakes idle-skipped controllers on arrival.
 struct TrackingRouter<'a> {
     ctrls: &'a mut [MemoryController],
-    enqueue_time: &'a mut std::collections::HashMap<u64, Cycle>,
+    enqueue_time: &'a mut EnqueueSlab,
+    ctrl_wake: &'a mut [Cycle],
 }
 
 impl MemPort for TrackingRouter<'_> {
@@ -567,8 +684,11 @@ impl MemPort for TrackingRouter<'_> {
         let mut r = MemRequest::new(req.id, req.addr, kind, req.thread, now);
         r.loc = loc;
         let ok = ctrl.enqueue(r, now);
-        if ok && !req.is_write {
+        if ok {
+            // Writes are tracked too (and consumed at completion) so the
+            // slab's base is never pinned by an id that will never arrive.
             self.enqueue_time.insert(req.id, now);
+            self.ctrl_wake[loc.channel as usize] = 0;
         }
         ok
     }
@@ -604,6 +724,36 @@ pub fn run_many(cfgs: &[SimConfig]) -> Vec<SimResult> {
 mod tests {
     use super::*;
     use microbank_workloads::suite::Workload;
+
+    #[test]
+    fn enqueue_slab_roundtrips_in_order() {
+        let mut s = EnqueueSlab::new();
+        for id in 10..20u64 {
+            s.insert(id, id * 7);
+        }
+        for id in 10..20u64 {
+            assert_eq!(s.remove(id), Some(id * 7));
+            assert_eq!(s.remove(id), None, "double-remove yields nothing");
+        }
+        assert!(s.slots.is_empty(), "fully drained slab frees its slots");
+    }
+
+    #[test]
+    fn enqueue_slab_handles_gaps_and_stragglers() {
+        let mut s = EnqueueSlab::new();
+        // id 7 lags (backlogged); 6 and 8 land and complete first.
+        s.insert(6, 60);
+        s.insert(8, 80);
+        assert_eq!(s.remove(6), Some(60));
+        assert_eq!(s.remove(8), Some(80));
+        // Base must not advance past id 7's still-empty slot…
+        s.insert(7, 70);
+        assert_eq!(s.remove(7), Some(70));
+        assert!(s.slots.is_empty());
+        // …and never-inserted ids resolve to None.
+        assert_eq!(s.remove(4), None);
+        assert_eq!(s.remove(1_000), None);
+    }
 
     #[test]
     fn quick_run_produces_sane_metrics() {

@@ -1,0 +1,338 @@
+//! Golden determinism suite: the hot-path refactors in the controller and
+//! simulator (incremental queue indexes, pending-precharge sets, idle-tick
+//! skipping, the enqueue slab, blocked-core skipping) are required to be
+//! *behavior-preserving*. Each {scheduler} × {page policy} × {μbank
+//! partition} configuration below must reproduce its committed fingerprint
+//! exactly — every element is a function of simulated behavior only, never
+//! wall clock.
+//!
+//! If a PR deliberately changes simulated behavior, regenerate the table
+//! with the `golden_dump` binary (`cargo run --release -p microbank-bench
+//! --bin golden_dump`) and scrutinize the diff in review.
+
+use microbank_ctrl::policy::PolicyKind;
+use microbank_ctrl::predictor::PredictorKind;
+use microbank_ctrl::scheduler::SchedulerKind;
+use microbank_sim::simulator::{golden_fingerprint, run, SimConfig};
+use microbank_workloads::suite::Workload;
+
+/// Committed fingerprints (regenerated only on deliberate behavior change).
+const GOLDEN: &[(&str, &str, &str, [u64; 13])] = &[
+    (
+        "1x1",
+        "frfcfs",
+        "open",
+        [
+            7996,
+            2140,
+            0,
+            2151,
+            2145,
+            2,
+            0,
+            1620,
+            520,
+            17120,
+            2140,
+            1015732,
+            13233932962532133159,
+        ],
+    ),
+    (
+        "1x1",
+        "frfcfs",
+        "close",
+        [
+            8011,
+            2146,
+            0,
+            2155,
+            2149,
+            2,
+            0,
+            1485,
+            661,
+            17168,
+            2146,
+            1016160,
+            5121743617116882432,
+        ],
+    ),
+    (
+        "1x1",
+        "frfcfs",
+        "pred",
+        [
+            8023,
+            2150,
+            0,
+            2154,
+            2152,
+            2,
+            0,
+            1462,
+            688,
+            17200,
+            2150,
+            1015492,
+            3737647099831144546,
+        ],
+    ),
+    (
+        "1x1",
+        "parbs",
+        "open",
+        [
+            7999,
+            2136,
+            0,
+            2145,
+            2139,
+            2,
+            0,
+            1688,
+            448,
+            17088,
+            2136,
+            1013420,
+            14269536547925486192,
+        ],
+    ),
+    (
+        "1x1",
+        "parbs",
+        "close",
+        [
+            7926,
+            2125,
+            0,
+            2135,
+            2128,
+            2,
+            0,
+            1536,
+            589,
+            17000,
+            2125,
+            1012892,
+            617837831381716189,
+        ],
+    ),
+    (
+        "1x1",
+        "parbs",
+        "pred",
+        [
+            7980,
+            2139,
+            0,
+            2147,
+            2143,
+            2,
+            0,
+            1496,
+            643,
+            17112,
+            2139,
+            1010202,
+            12543753609092321841,
+        ],
+    ),
+    (
+        "8x8",
+        "frfcfs",
+        "open",
+        [
+            15237,
+            3552,
+            0,
+            4082,
+            3637,
+            2,
+            2,
+            2633,
+            917,
+            28416,
+            3552,
+            1069632,
+            8031994372379810256,
+        ],
+    ),
+    (
+        "8x8",
+        "frfcfs",
+        "close",
+        [
+            15240,
+            3552,
+            0,
+            3648,
+            3615,
+            2,
+            0,
+            209,
+            3343,
+            28416,
+            3552,
+            1069504,
+            2274558660540245059,
+        ],
+    ),
+    (
+        "8x8",
+        "frfcfs",
+        "pred",
+        [
+            15240,
+            3552,
+            0,
+            3910,
+            3877,
+            2,
+            0,
+            525,
+            3027,
+            28416,
+            3552,
+            1069504,
+            2274558660540245059,
+        ],
+    ),
+    (
+        "8x8",
+        "parbs",
+        "open",
+        [
+            15193,
+            3550,
+            0,
+            4080,
+            3639,
+            2,
+            2,
+            2626,
+            922,
+            28400,
+            3550,
+            1068824,
+            17821259411051779570,
+        ],
+    ),
+    (
+        "8x8",
+        "parbs",
+        "close",
+        [
+            15177,
+            3551,
+            0,
+            3646,
+            3611,
+            2,
+            0,
+            209,
+            3342,
+            28408,
+            3551,
+            1068224,
+            14940451591944711862,
+        ],
+    ),
+    (
+        "8x8",
+        "parbs",
+        "pred",
+        [
+            15223,
+            3550,
+            0,
+            3905,
+            3872,
+            2,
+            0,
+            531,
+            3019,
+            28400,
+            3550,
+            1069040,
+            7364169726719467890,
+        ],
+    ),
+];
+
+fn config_for(part: &str, sched: &str, policy: &str) -> SimConfig {
+    let (nw, nb) = match part {
+        "1x1" => (1, 1),
+        "8x8" => (8, 8),
+        other => panic!("unknown partition {other}"),
+    };
+    let mut cfg = SimConfig::spec_single_channel(Workload::Spec("429.mcf")).quick();
+    cfg.mem = cfg.mem.with_ubanks(nw, nb);
+    cfg.warmup_cycles = 10_000;
+    cfg.measure_cycles = 30_000;
+    cfg.scheduler = match sched {
+        "frfcfs" => SchedulerKind::FrFcfs,
+        "parbs" => SchedulerKind::ParBs { marking_cap: 5 },
+        other => panic!("unknown scheduler {other}"),
+    };
+    cfg.policy = match policy {
+        "open" => PolicyKind::Open,
+        "close" => PolicyKind::Close,
+        "pred" => PolicyKind::Predictive(PredictorKind::Local),
+        other => panic!("unknown policy {other}"),
+    };
+    cfg
+}
+
+#[test]
+fn golden_fingerprints_are_reproduced() {
+    let mut failures = Vec::new();
+    for &(part, sched, policy, ref want) in GOLDEN {
+        let r = run(&config_for(part, sched, policy));
+        let got = golden_fingerprint(&r);
+        if got != *want {
+            failures.push(format!(
+                "{part}/{sched}/{policy}:\n  want {want:?}\n  got  {got:?}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "behavior drift in {} golden config(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn golden_runs_are_deterministic_across_repeats() {
+    // Same config twice → identical fingerprint (no hidden wall-clock or
+    // iteration-order dependence anywhere in the simulated path).
+    let (part, sched, policy) = ("8x8", "parbs", "pred");
+    let a = golden_fingerprint(&run(&config_for(part, sched, policy)));
+    let b = golden_fingerprint(&run(&config_for(part, sched, policy)));
+    assert_eq!(a, b);
+}
+
+/// Regression test for the warmup latency clamp: a read enqueued during
+/// warmup but completing inside the measurement window must have its
+/// enqueue time clamped to the warmup boundary, so no recorded latency can
+/// exceed the measurement window length. Before the fix, a backlogged
+/// (1,1) run recorded multi-window latencies for warmup stragglers,
+/// poisoning the histogram tail.
+#[test]
+fn warmup_stragglers_cannot_exceed_window_latency() {
+    let mut cfg = SimConfig::spec_single_channel(Workload::Spec("429.mcf")).quick();
+    cfg.mem = cfg.mem.with_ubanks(1, 1); // minimum BLP → deep backlog
+    cfg.warmup_cycles = 20_000;
+    cfg.measure_cycles = 10_000;
+    let r = run(&cfg);
+    assert!(r.read_latency_hist.count() > 0, "no reads completed");
+    assert!(
+        r.read_latency_hist.max() <= cfg.measure_cycles,
+        "read latency {} exceeds the {}-cycle measurement window: \
+         warmup enqueue times are leaking into window latencies",
+        r.read_latency_hist.max(),
+        cfg.measure_cycles
+    );
+}
