@@ -437,6 +437,49 @@ impl Channel {
         self.stats.refreshes += 1;
     }
 
+    /// Can a patrol-scrub command issue to μbank `flat` at `now`? A scrub
+    /// is an internal read-correct-restore RAS cycle on an *idle* μbank:
+    /// it needs the command bus, an awake non-refreshing rank, and a
+    /// precharged bank ready to activate.
+    pub fn can_scrub_flat(&self, flat: usize, now: Cycle) -> bool {
+        let rank = self.rank_of(flat);
+        now >= self.next_cmd
+            && !self.in_refresh(rank, now)
+            && !self.rank_unavailable(rank, now)
+            && self.banks[flat].open_row.is_none()
+            && self.banks[flat].can_activate(now)
+    }
+
+    /// Issue a scrub to `flat`: the μbank is occupied for tRC (the
+    /// internal ACT + correct + restore + PRE sequence) and the command
+    /// bus for one slot. Like REF — and unlike demand ACTs — the scrub's
+    /// internal activation is not charged against tRRD/tFAW (documented
+    /// modeling shortcut; scrub rates are orders of magnitude below the
+    /// activation-window limits).
+    pub fn scrub_flat(&mut self, flat: usize, now: Cycle) {
+        debug_assert!(self.can_scrub_flat(flat, now));
+        let rank = self.rank_of(flat);
+        self.ranks[rank].last_activity = now;
+        self.banks[flat].refresh_until(now + self.t.t_rc());
+        self.next_cmd = now + self.t.t_cmd;
+        self.stats.scrubs += 1;
+    }
+
+    /// Fraction of the refresh interval elapsed for `rank` at `now`, in
+    /// [0, 1] — the retention-decay age the fault model scales its
+    /// retention flip rate by. With refresh disabled cells are maximally
+    /// stale (1.0).
+    pub fn refresh_age_frac(&self, rank: usize, now: Cycle) -> f64 {
+        if !self.refresh_enabled {
+            return 1.0;
+        }
+        let remaining = self.ranks[rank]
+            .refresh_due
+            .saturating_sub(now)
+            .min(self.t.t_refi);
+        1.0 - remaining as f64 / self.t.t_refi as f64
+    }
+
     /// Number of ranks.
     pub fn num_ranks(&self) -> usize {
         self.ranks.len()

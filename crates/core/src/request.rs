@@ -37,6 +37,9 @@ pub struct MemRequest {
     /// (stamped by the request queue) so the scheduler's per-tick scans
     /// never recompute [`Location::ubank_flat`] per entry.
     pub flat: u32,
+    /// Set when a corrected-ECC demand retry has already re-issued this
+    /// read (reliability subsystem); a request is retried at most once.
+    pub retried: bool,
 }
 
 impl MemRequest {
@@ -57,6 +60,7 @@ impl MemRequest {
                 col: 0,
             },
             flat: 0,
+            retried: false,
         }
     }
 

@@ -19,6 +19,9 @@ pub struct DramStats {
     pub writes: u64,
     /// All-bank refreshes issued.
     pub refreshes: u64,
+    /// Patrol-scrub commands issued (reliability subsystem; always 0 when
+    /// fault injection is disabled).
+    pub scrubs: u64,
     /// Cycles the data bus spent transferring bursts.
     pub data_bus_busy: u64,
     /// Column accesses that hit an already-open row.
@@ -41,6 +44,7 @@ impl DramStats {
         self.reads += other.reads;
         self.writes += other.writes;
         self.refreshes += other.refreshes;
+        self.scrubs += other.scrubs;
         self.data_bus_busy += other.data_bus_busy;
         self.row_hits += other.row_hits;
         self.row_closed += other.row_closed;

@@ -18,6 +18,7 @@ use microbank_core::channel::Channel;
 use microbank_core::config::MemConfig;
 use microbank_core::request::MemRequest;
 use microbank_core::Cycle;
+use microbank_faults::{AccessVerdict, FaultConfig, FaultEngine};
 use microbank_telemetry::{CmdKind, CmdRecord, CmdTrace};
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
@@ -143,6 +144,9 @@ pub struct MemoryController {
     /// Bounded command trace; `None` (the default) costs one branch per
     /// issued command.
     pub trace: Option<Box<CmdTrace>>,
+    /// Reliability engine (fault injection / ECC / scrub / degradation);
+    /// `None` (the default) keeps the hot path golden-identical.
+    pub faults: Option<Box<FaultEngine>>,
 }
 
 impl MemoryController {
@@ -187,7 +191,14 @@ impl MemoryController {
             stats: CtrlStats::default(),
             channel_id: 0,
             trace: None,
+            faults: None,
         }
+    }
+
+    /// Attach the reliability engine for this controller's channel
+    /// (deterministically seeded from the master fault seed + `channel`).
+    pub fn enable_faults(&mut self, fc: &FaultConfig, channel: usize) {
+        self.faults = Some(Box::new(FaultEngine::new(&self.cfg, fc, channel)));
     }
 
     /// Enable command tracing into a ring of `capacity` records, stamping
@@ -244,6 +255,12 @@ impl MemoryController {
             return false;
         }
         req.arrival = now;
+        // Graceful degradation: steer the request around retired
+        // μbanks/rows before anything keys off its coordinates. Remapping
+        // happens once, at enqueue, so in-flight requests are stable.
+        if let Some(eng) = &self.faults {
+            eng.remap_loc(&mut req.loc);
+        }
         let flat = req.loc.ubank_flat(&self.cfg);
         // Resolve a pending speculative decision for this bank: the correct
         // choice was "keep open" iff this request hits the recorded row.
@@ -313,6 +330,9 @@ impl MemoryController {
             return;
         }
         if self.service_queue(now) {
+            return;
+        }
+        if self.service_scrub(now) {
             return;
         }
         self.service_policy_precharges(now);
@@ -478,6 +498,30 @@ impl MemoryController {
                     CmdKind::Rd
                 };
                 self.trace_cmd(now, kind, flat, r.loc.row);
+                // Reliability: assess the read's ECC outcome. A corrected
+                // error triggers one demand retry — the burst above was
+                // spent (timing/energy already charged), but the request
+                // stays queued and is re-issued before completing.
+                if !r.is_write() {
+                    if let Some(eng) = &mut self.faults {
+                        let age = self.channel.refresh_age_frac(r.loc.rank as usize, now);
+                        let before = eng.summary.corrected;
+                        let verdict = eng.assess_demand_read(r.flat, r.loc.row, age, r.retried);
+                        let corrected = eng.summary.corrected - before;
+                        if corrected > 0 {
+                            if let Some(tel) = &mut self.channel.telemetry {
+                                tel.heat.corrected[flat] += corrected;
+                            }
+                        }
+                        if verdict == AccessVerdict::Retry {
+                            self.queue.mark_retried(best.idx);
+                            return true;
+                        }
+                        // Uncorrectable reads still complete: the data
+                        // loss is modeled by the retirement the engine
+                        // just applied, not by stalling the machine.
+                    }
+                }
                 self.queue.remove(best.idx);
                 self.scheduler.note_serviced(r.id);
                 if r.is_write() {
@@ -496,6 +540,69 @@ impl MemoryController {
                 if self.queue.pending_for_bank(flat) == 0 {
                     self.speculate(flat, r.loc.row, r.thread, now);
                 }
+            }
+        }
+        true
+    }
+
+    /// Patrol scrubbing on otherwise-idle command slots: background
+    /// priority, after demand scheduling and before policy precharges.
+    /// Issues at most one command — either the `Scrub` itself or a PRE
+    /// clearing the target μbank's open row (only when no queued request
+    /// still wants that row). Returns true if a command was issued.
+    fn service_scrub(&mut self, now: Cycle) -> bool {
+        // Pick the scrub target, walking the cursor past retired
+        // (μbank, row) pairs for free: those cells no longer exist.
+        // Degradation guarantees at least one live row in one live μbank,
+        // so the walk terminates.
+        let Some((flat, row)) = self.faults.as_deref_mut().and_then(|eng| {
+            if !matches!(&eng.scrub, Some(s) if s.due(now)) {
+                return None;
+            }
+            loop {
+                let t = eng.scrub.as_ref().unwrap().target();
+                if !eng.is_retired(t.0, t.1) {
+                    return Some(t);
+                }
+                eng.scrub.as_mut().unwrap().skip();
+            }
+        }) else {
+            return false;
+        };
+        let flat_us = flat as usize;
+        let rank = flat_us / (self.cfg.ubanks_per_channel() / self.cfg.ranks_per_channel);
+        if self.refresh_draining[rank] {
+            return false;
+        }
+        if let Some(open) = self.channel.open_row_flat(flat_us) {
+            // The target holds an open row. Close it on this idle slot
+            // unless demand traffic still wants it (hits always win).
+            if !self.queue.any_hit_for(flat_us, open)
+                && self.channel.can_precharge_flat(flat_us, now)
+            {
+                self.channel.precharge_flat(flat_us, now);
+                self.auto_pre[flat_us] = false;
+                self.close_deadline[flat_us] = Cycle::MAX;
+                self.pre_due.remove(&flat_us);
+                self.trace_cmd(now, CmdKind::Pre, flat_us, open);
+                return true;
+            }
+            return false;
+        }
+        if !self.channel.can_scrub_flat(flat_us, now) {
+            return false;
+        }
+        self.channel.scrub_flat(flat_us, now);
+        self.trace_cmd(now, CmdKind::Scrub, flat_us, row);
+        let age = self.channel.refresh_age_frac(rank, now);
+        let eng = self.faults.as_deref_mut().unwrap();
+        let before = eng.summary.corrected;
+        eng.assess_scrub(flat, row, age);
+        let corrected = eng.summary.corrected - before;
+        eng.scrub.as_mut().unwrap().issued(now);
+        if corrected > 0 {
+            if let Some(tel) = &mut self.channel.telemetry {
+                tel.heat.corrected[flat_us] += corrected;
             }
         }
         true
@@ -581,6 +688,12 @@ impl MemoryController {
     /// [`MemoryController::account_idle_ticks`] to keep occupancy
     /// statistics identical to per-cycle ticking.
     pub fn idle_until(&mut self, now: Cycle) -> Option<Cycle> {
+        // The reliability engine schedules its own background commands
+        // (patrol scrubs), so a faults-enabled controller is never
+        // provably inert; take the per-cycle path.
+        if self.faults.is_some() {
+            return None;
+        }
         if self.cfg.powerdown_idle.is_some() || !self.queue.is_empty() {
             return None;
         }

@@ -130,6 +130,13 @@ impl RequestQueue {
         &self.entries[idx]
     }
 
+    /// Flag the entry at `idx` as having consumed its one corrected-ECC
+    /// demand retry (reliability subsystem). Touches no index state: the
+    /// request keeps its μbank/row/kind, it is merely re-serviced.
+    pub fn mark_retried(&mut self, idx: usize) {
+        self.entries[idx].retried = true;
+    }
+
     /// Number of queued requests targeting the given μbank.
     pub fn pending_for_bank(&self, flat_ubank: usize) -> u32 {
         self.per_bank[flat_ubank]

@@ -1,0 +1,210 @@
+//! Graceful degradation: retire faulty rows/μbanks and remap future
+//! accesses around them, shrinking effective capacity instead of failing
+//! the run.
+//!
+//! Retirement granularity is the point of the exercise: a wordline defect
+//! costs one μbank row (`8 KB / nW`), a subarray defect one μbank
+//! (`bank / (nW·nB)`). At `(1,1)` those same physical defects cost a full
+//! 8 KB row and a full bank respectively — the blast-radius argument the
+//! `reliability` bench quantifies.
+//!
+//! Remapping is deterministic and stateless (no spare-region bookkeeping):
+//! a retired μbank forwards to the next live μbank in flat order, a
+//! retired row to the next live row in the μbank. Aliasing with the
+//! forwarded-to region's own traffic is intentional — it is what produces
+//! the realistic performance cost of running degraded (the spare capacity
+//! must come from somewhere).
+
+use crate::inject::row_key;
+use microbank_core::fxhash::FxBuild;
+use std::collections::{HashMap, HashSet};
+
+/// Per-channel retirement state and remap tables.
+#[derive(Debug, Clone)]
+pub struct Degrade {
+    n_ubanks: u32,
+    ubank_rows: u32,
+    row_bytes: u64,
+    retired_rows: HashSet<u64, FxBuild>,
+    /// Retired-row count per μbank (drives whole-μbank retirement when a
+    /// μbank bleeds out row by row).
+    rows_per_ubank: HashMap<u32, u32, FxBuild>,
+    retired_ubanks: Vec<bool>,
+    retired_ubank_count: u32,
+    /// Retirements refused because they would have killed the last live
+    /// μbank of the channel.
+    pub refused: u64,
+    /// Bytes of effective capacity lost to retirement.
+    pub lost_bytes: u64,
+}
+
+impl Degrade {
+    pub fn new(n_ubanks: usize, ubank_rows: usize, row_bytes: u64) -> Self {
+        Degrade {
+            n_ubanks: n_ubanks as u32,
+            ubank_rows: ubank_rows as u32,
+            row_bytes,
+            retired_rows: HashSet::with_hasher(FxBuild::default()),
+            rows_per_ubank: HashMap::with_hasher(FxBuild::default()),
+            retired_ubanks: vec![false; n_ubanks],
+            retired_ubank_count: 0,
+            refused: 0,
+            lost_bytes: 0,
+        }
+    }
+
+    pub fn is_ubank_retired(&self, flat: u32) -> bool {
+        self.retired_ubanks[flat as usize]
+    }
+
+    pub fn is_row_retired(&self, flat: u32, row: u32) -> bool {
+        self.retired_rows.contains(&row_key(flat, row))
+    }
+
+    pub fn retired_rows(&self) -> u64 {
+        self.retired_rows.len() as u64
+    }
+
+    pub fn retired_ubanks(&self) -> u64 {
+        self.retired_ubank_count as u64
+    }
+
+    /// Retire one μbank row. Returns `true` if newly retired. Retiring the
+    /// last live row of a μbank escalates to μbank retirement.
+    pub fn retire_row(&mut self, flat: u32, row: u32) -> bool {
+        if self.is_ubank_retired(flat) || self.retired_rows.contains(&row_key(flat, row)) {
+            return false;
+        }
+        let n = self.rows_per_ubank.get(&flat).copied().unwrap_or(0);
+        if n + 1 >= self.ubank_rows && self.retired_ubank_count + 1 >= self.n_ubanks {
+            // Retiring this μbank's last live row would escalate into
+            // retiring the channel's last live μbank; refuse so `remap`
+            // always has a live (μbank, row) to land on.
+            self.refused += 1;
+            return false;
+        }
+        self.retired_rows.insert(row_key(flat, row));
+        self.lost_bytes += self.row_bytes;
+        self.rows_per_ubank.insert(flat, n + 1);
+        if n + 1 >= self.ubank_rows {
+            self.retire_ubank(flat);
+        }
+        true
+    }
+
+    /// Retire a whole μbank. Returns `true` if newly retired; refuses (and
+    /// counts) when it would leave the channel with no live μbank.
+    pub fn retire_ubank(&mut self, flat: u32) -> bool {
+        if self.is_ubank_retired(flat) {
+            return false;
+        }
+        if self.retired_ubank_count + 1 >= self.n_ubanks {
+            self.refused += 1;
+            return false;
+        }
+        self.retired_ubanks[flat as usize] = true;
+        self.retired_ubank_count += 1;
+        // Rows already retired individually inside this μbank were counted;
+        // charge only the remainder.
+        let already = self.rows_per_ubank.get(&flat).copied().unwrap_or(0) as u64;
+        self.lost_bytes += (self.ubank_rows as u64 - already) * self.row_bytes;
+        true
+    }
+
+    /// Remap `(flat, row)` around retirements: a retired μbank forwards to
+    /// the next live μbank (wrapping flat order), a retired row to the
+    /// next live row. Identity for live targets; total by construction
+    /// (retirement never kills the last μbank, and a μbank with all rows
+    /// retired escalates to μbank retirement).
+    pub fn remap(&self, flat: u32, row: u32) -> (u32, u32) {
+        let mut f = flat;
+        while self.is_ubank_retired(f) {
+            f = (f + 1) % self.n_ubanks;
+        }
+        let mut r = row;
+        while self.is_row_retired(f, r) {
+            r = (r + 1) % self.ubank_rows;
+        }
+        (f, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_targets_map_to_themselves() {
+        let d = Degrade::new(8, 16, 512);
+        assert_eq!(d.remap(3, 7), (3, 7));
+        assert_eq!(d.lost_bytes, 0);
+    }
+
+    #[test]
+    fn retired_row_forwards_and_charges_bytes() {
+        let mut d = Degrade::new(8, 16, 512);
+        assert!(d.retire_row(2, 5));
+        assert!(!d.retire_row(2, 5), "idempotent");
+        assert_eq!(d.remap(2, 5), (2, 6));
+        assert_eq!(d.remap(2, 4), (2, 4));
+        assert_eq!(d.lost_bytes, 512);
+        assert_eq!(d.retired_rows(), 1);
+    }
+
+    #[test]
+    fn retired_ubank_forwards_to_next_live() {
+        let mut d = Degrade::new(4, 16, 512);
+        assert!(d.retire_ubank(1));
+        assert_eq!(d.remap(1, 0), (2, 0));
+        assert_eq!(d.lost_bytes, 16 * 512);
+        // Wrap-around past the end.
+        assert!(d.retire_ubank(3));
+        assert_eq!(d.remap(3, 2), (0, 2));
+    }
+
+    #[test]
+    fn last_live_ubank_is_protected() {
+        let mut d = Degrade::new(2, 4, 64);
+        assert!(d.retire_ubank(0));
+        assert!(!d.retire_ubank(1), "must refuse to kill the channel");
+        assert_eq!(d.refused, 1);
+        assert_eq!(d.remap(0, 0), (1, 0));
+    }
+
+    #[test]
+    fn bleeding_ubank_escalates_to_ubank_retirement() {
+        let mut d = Degrade::new(4, 4, 64);
+        for row in 0..4 {
+            d.retire_row(1, row);
+        }
+        assert!(d.is_ubank_retired(1));
+        // Escalation charges exactly one μbank's bytes in total.
+        assert_eq!(d.lost_bytes, 4 * 64);
+        assert_eq!(d.remap(1, 0), (2, 0));
+    }
+
+    #[test]
+    fn last_live_ubank_keeps_at_least_one_live_row() {
+        // One live μbank (the other retired): bleeding it row by row must
+        // stop short of the final row so remap stays total.
+        let mut d = Degrade::new(2, 4, 64);
+        assert!(d.retire_ubank(0));
+        for row in 0..3 {
+            assert!(d.retire_row(1, row));
+        }
+        assert!(!d.retire_row(1, 3), "final row of final μbank is protected");
+        assert_eq!(d.refused, 1);
+        assert_eq!(d.remap(1, 0), (1, 3));
+    }
+
+    #[test]
+    fn chained_row_retirements_forward_transitively() {
+        let mut d = Degrade::new(2, 8, 64);
+        d.retire_row(0, 3);
+        d.retire_row(0, 4);
+        assert_eq!(d.remap(0, 3), (0, 5));
+        // Wrap within the μbank.
+        d.retire_row(0, 7);
+        assert_eq!(d.remap(0, 7), (0, 0));
+    }
+}

@@ -1,0 +1,358 @@
+//! Deterministic, seeded fault injection.
+//!
+//! Hard faults are *physical* defects, so they are sampled in physical
+//! device coordinates — (bank, wordline 0..8192, column 0..128) — in a
+//! fixed order from the seed, independent of the μbank partitioning. The
+//! same seed therefore places the same physical defects under every
+//! `(nW, nB)` geometry; only the *blast radius* (which μbank/row the
+//! defect projects onto, and how many bytes retiring it costs) changes
+//! with the partitioning. That projection is exactly the paper-adjacent
+//! claim the `reliability` bench measures.
+//!
+//! Transient errors (particle strikes on access, retention decay between
+//! refreshes) are sampled per read from per-bit rates, approximated as
+//! Poisson draws over the 512 data bits (exact binomial and Poisson are
+//! indistinguishable at the modeled rates, and the Knuth sampler is
+//! allocation-free and deterministic).
+
+use crate::ecc::{EccMode, ErrorPattern, DATA_BITS};
+use microbank_core::config::MemConfig;
+use microbank_core::fxhash::FxBuild;
+use microbank_core::Cycle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Reliability-subsystem configuration, disabled by default (a `SimConfig`
+/// carries `Option<FaultConfig>`; `None` keeps the golden path untouched).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Master seed; each channel derives its own stream from (seed, channel).
+    pub seed: u64,
+    pub ecc: EccMode,
+    /// Per-bit probability of a transient flip on each read access.
+    pub access_flip_rate: f64,
+    /// Per-bit retention-failure probability at a full tREFI of age;
+    /// scaled linearly by the fraction of tREFI elapsed since the rank's
+    /// last refresh.
+    pub retention_flip_rate: f64,
+    /// Hard single-cell stuck-at faults per channel.
+    pub stuck_cells: u32,
+    /// Hard wordline(-segment) faults per channel: the covering μbank row
+    /// reads as garbage.
+    pub row_faults: u32,
+    /// Hard bitline/sense-amp faults per channel: one bad bit on every
+    /// access to the covering μbank (correctable, but chronic).
+    pub col_faults: u32,
+    /// Hard subarray faults per channel (local decoder/driver): the
+    /// covering μbank reads as garbage. At (1,1) the covering μbank is the
+    /// whole bank — the blast-radius headline case.
+    pub subarray_faults: u32,
+    /// Hard whole-bank faults per channel (global bank logic).
+    pub bank_faults: u32,
+    /// Hard whole-rank faults per channel.
+    pub rank_faults: u32,
+    /// Patrol-scrub command period in CPU cycles (`None` = no scrubbing).
+    pub scrub_interval: Option<Cycle>,
+    /// Corrected *hard* errors tolerated per μbank before predictive
+    /// retirement kicks in (column-fault μbanks get retired, stuck-cell
+    /// rows get retired).
+    pub hard_ce_retire_threshold: u32,
+}
+
+impl FaultConfig {
+    /// A clean, ECC-on configuration: no injected faults, no scrubbing.
+    pub fn new(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            ecc: EccMode::SecDed,
+            access_flip_rate: 0.0,
+            retention_flip_rate: 0.0,
+            stuck_cells: 0,
+            row_faults: 0,
+            col_faults: 0,
+            subarray_faults: 0,
+            bank_faults: 0,
+            rank_faults: 0,
+            scrub_interval: None,
+            hard_ce_retire_threshold: 16,
+        }
+    }
+
+    /// A stress preset exercising every fault mode: used by the golden
+    /// determinism suite and the `reliability` bench's "high" point.
+    pub fn stress(seed: u64) -> Self {
+        FaultConfig {
+            access_flip_rate: 2e-7,
+            retention_flip_rate: 1e-6,
+            stuck_cells: 6,
+            row_faults: 4,
+            col_faults: 3,
+            subarray_faults: 2,
+            scrub_interval: Some(4_096),
+            hard_ce_retire_threshold: 8,
+            ..Self::new(seed)
+        }
+    }
+
+    pub fn with_ecc(mut self, ecc: EccMode) -> Self {
+        self.ecc = ecc;
+        self
+    }
+
+    pub fn with_scrub(mut self, interval: Cycle) -> Self {
+        self.scrub_interval = Some(interval);
+        self
+    }
+}
+
+/// One channel's hard-fault map, projected from physical defect positions
+/// onto the channel's `(nW, nB)` geometry. Keys are flat μbank indices
+/// (and rows within the μbank where applicable).
+#[derive(Debug, Clone)]
+pub struct FaultMap {
+    /// Stuck bit count per (flat, μbank row).
+    pub stuck: HashMap<u64, u32, FxBuild>,
+    /// μbank rows reading as garbage (wordline-segment defects).
+    pub bad_rows: HashSet<u64, FxBuild>,
+    /// Chronic single-bit defects per flat μbank (bitline/sense-amp).
+    pub bad_cols: HashMap<u32, u32, FxBuild>,
+    /// μbanks reading as garbage (subarray, bank, or rank scope defects,
+    /// all projected down to the μbanks they cover).
+    pub bad_ubanks: HashSet<u32, FxBuild>,
+}
+
+/// Key for per-(μbank, row) maps.
+#[inline]
+pub fn row_key(flat: u32, row: u32) -> u64 {
+    ((flat as u64) << 32) | row as u64
+}
+
+impl FaultMap {
+    /// Generate the channel's map from `seed`. Sampling happens in
+    /// physical coordinates in a fixed order, so two configs differing
+    /// only in `(nW, nB)` see the *same* physical defects.
+    pub fn generate(cfg: &MemConfig, fc: &FaultConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows_per_bank = cfg.geometry.rows_per_bank() as u64;
+        let cols_per_row = cfg.geometry.cols_per_row() as u64;
+        let banks = (cfg.ranks_per_channel * cfg.banks_per_rank) as u64;
+        let (nw, nb) = (cfg.ubank.n_w as u64, cfg.ubank.n_b as u64);
+        let per_bank = nw * nb;
+        let ubank_rows = rows_per_bank / nb;
+        let seg_cols = cols_per_row / nw;
+
+        // Physical (bank, wordline, column) → (flat μbank, μbank row).
+        let project = |bank: u64, prow: u64, pcol: u64| -> (u32, u32) {
+            let b = prow / ubank_rows;
+            let w = pcol / seg_cols;
+            let flat = bank * per_bank + b * nw + w;
+            (flat as u32, (prow % ubank_rows) as u32)
+        };
+
+        let mut map = FaultMap {
+            stuck: HashMap::with_hasher(FxBuild::default()),
+            bad_rows: HashSet::with_hasher(FxBuild::default()),
+            bad_cols: HashMap::with_hasher(FxBuild::default()),
+            bad_ubanks: HashSet::with_hasher(FxBuild::default()),
+        };
+
+        for _ in 0..fc.stuck_cells {
+            let (bank, prow, pcol) = (
+                rng.gen_range(0..banks),
+                rng.gen_range(0..rows_per_bank),
+                rng.gen_range(0..cols_per_row),
+            );
+            let (flat, row) = project(bank, prow, pcol);
+            *map.stuck.entry(row_key(flat, row)).or_insert(0) += 1;
+        }
+        for _ in 0..fc.row_faults {
+            let (bank, prow, pcol) = (
+                rng.gen_range(0..banks),
+                rng.gen_range(0..rows_per_bank),
+                rng.gen_range(0..cols_per_row),
+            );
+            let (flat, row) = project(bank, prow, pcol);
+            map.bad_rows.insert(row_key(flat, row));
+        }
+        for _ in 0..fc.col_faults {
+            let (bank, prow, pcol) = (
+                rng.gen_range(0..banks),
+                rng.gen_range(0..rows_per_bank),
+                rng.gen_range(0..cols_per_row),
+            );
+            let (flat, _) = project(bank, prow, pcol);
+            *map.bad_cols.entry(flat).or_insert(0) += 1;
+        }
+        for _ in 0..fc.subarray_faults {
+            let (bank, prow, pcol) = (
+                rng.gen_range(0..banks),
+                rng.gen_range(0..rows_per_bank),
+                rng.gen_range(0..cols_per_row),
+            );
+            let (flat, _) = project(bank, prow, pcol);
+            map.bad_ubanks.insert(flat);
+        }
+        for _ in 0..fc.bank_faults {
+            let bank = rng.gen_range(0..banks);
+            for within in 0..per_bank {
+                map.bad_ubanks.insert((bank * per_bank + within) as u32);
+            }
+        }
+        for _ in 0..fc.rank_faults {
+            let rank = rng.gen_range(0..cfg.ranks_per_channel as u64);
+            let per_rank = cfg.banks_per_rank as u64 * per_bank;
+            for within in 0..per_rank {
+                map.bad_ubanks.insert((rank * per_rank + within) as u32);
+            }
+        }
+        map
+    }
+
+    /// Hard-error pattern for one access, plus whether any hard source
+    /// contributed at each scope. Returns `(pattern, row_scope, ubank_scope)`.
+    pub fn hard_pattern(&self, flat: u32, row: u32) -> (ErrorPattern, bool, bool) {
+        let mut p = ErrorPattern::CLEAN;
+        let mut row_scope = false;
+        let mut ubank_scope = false;
+        if self.bad_ubanks.contains(&flat) {
+            p = p.combine(ErrorPattern::GARBAGE);
+            ubank_scope = true;
+        }
+        if self.bad_rows.contains(&row_key(flat, row)) {
+            p = p.combine(ErrorPattern::GARBAGE);
+            row_scope = true;
+        }
+        if let Some(&n) = self.stuck.get(&row_key(flat, row)) {
+            p = p.combine(ErrorPattern::scattered_bits(n));
+            row_scope = true;
+        }
+        if let Some(&n) = self.bad_cols.get(&flat) {
+            p = p.combine(ErrorPattern::scattered_bits(n));
+            ubank_scope = true;
+        }
+        (p, row_scope, ubank_scope)
+    }
+}
+
+/// Knuth Poisson sampler (deterministic, loop-free for λ = 0). Adequate
+/// for the small λ this model produces (λ = 512 × per-bit rate ≪ 1).
+pub fn poisson(rng: &mut StdRng, lambda: f64) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit || k > DATA_BITS {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Transient contribution for one read: access noise plus retention decay
+/// aged by `age_frac` ∈ [0, 1] (fraction of tREFI since the rank's last
+/// refresh). Consumes RNG only when the corresponding rate is nonzero, so
+/// an all-hard configuration stays draw-free on the hot path.
+pub fn transient_pattern(rng: &mut StdRng, fc: &FaultConfig, age_frac: f64) -> ErrorPattern {
+    let mut k = 0u32;
+    if fc.access_flip_rate > 0.0 {
+        k += poisson(rng, DATA_BITS as f64 * fc.access_flip_rate);
+    }
+    if fc.retention_flip_rate > 0.0 {
+        k += poisson(rng, DATA_BITS as f64 * fc.retention_flip_rate * age_frac);
+    }
+    ErrorPattern::scattered_bits(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(nw: usize, nb: usize) -> MemConfig {
+        MemConfig::lpddr_tsi().with_ubanks(nw, nb).with_channels(1)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = cfg(8, 8);
+        let fc = FaultConfig::stress(42);
+        let a = FaultMap::generate(&c, &fc, 7);
+        let b = FaultMap::generate(&c, &fc, 7);
+        assert_eq!(a.bad_ubanks, b.bad_ubanks);
+        assert_eq!(a.bad_rows, b.bad_rows);
+        assert_eq!(a.stuck, b.stuck);
+        assert_eq!(a.bad_cols, b.bad_cols);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c = cfg(8, 8);
+        let fc = FaultConfig::stress(42);
+        let a = FaultMap::generate(&c, &fc, 7);
+        let b = FaultMap::generate(&c, &fc, 8);
+        assert_ne!(
+            (a.bad_ubanks, a.bad_rows, a.stuck),
+            (b.bad_ubanks, b.bad_rows, b.stuck)
+        );
+    }
+
+    #[test]
+    fn physical_defects_are_geometry_invariant() {
+        // The same seed must place the same *number* of distinct physical
+        // defects under every partitioning; only the projection changes.
+        let fc = FaultConfig::stress(99);
+        let fine = FaultMap::generate(&cfg(16, 16), &fc, 3);
+        let coarse = FaultMap::generate(&cfg(1, 1), &fc, 3);
+        // Subarray faults at (1,1) cover whole banks → indices fall in
+        // 0..8; at (16,16) they land somewhere in 0..2048.
+        assert!(coarse.bad_ubanks.iter().all(|&f| f < 8));
+        assert_eq!(coarse.bad_ubanks.len(), fine.bad_ubanks.len());
+        assert_eq!(coarse.bad_rows.len(), fine.bad_rows.len());
+    }
+
+    #[test]
+    fn bank_faults_cover_every_covering_ubank() {
+        let c = cfg(4, 4);
+        let mut fc = FaultConfig::new(1);
+        fc.bank_faults = 1;
+        let m = FaultMap::generate(&c, &fc, 11);
+        assert_eq!(m.bad_ubanks.len(), 16, "one bank = nW×nB μbanks");
+    }
+
+    #[test]
+    fn poisson_zero_rate_consumes_nothing() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        assert_eq!(poisson(&mut a, 0.0), 0);
+        // Identical next draw proves no RNG state was consumed.
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 0.5) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 0.5).abs() < 0.05, "poisson mean {mean}");
+    }
+
+    #[test]
+    fn hard_pattern_reports_scopes() {
+        let c = cfg(2, 2);
+        let mut fc = FaultConfig::new(0);
+        fc.subarray_faults = 1;
+        let m = FaultMap::generate(&c, &fc, 2);
+        let &flat = m.bad_ubanks.iter().next().unwrap();
+        let (p, row_scope, ubank_scope) = m.hard_pattern(flat, 0);
+        assert!(!p.is_clean());
+        assert!(ubank_scope);
+        assert!(!row_scope);
+        let (clean, _, _) = m.hard_pattern(flat + 1000, 0);
+        assert!(clean.is_clean());
+    }
+}

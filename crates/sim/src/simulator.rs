@@ -14,6 +14,7 @@ use microbank_energy::corepower::CorePowerModel;
 use microbank_energy::energy::EnergyModel;
 use microbank_energy::params::EnergyParams;
 use microbank_energy::power::{MemoryEnergy, PowerIntegrator};
+use microbank_faults::{FaultConfig, FaultSummary};
 use microbank_telemetry::{
     mcycles_per_sec, CmdRecord, HeatCounters, PhaseTimer, TelemetryConfig, Timeline,
 };
@@ -41,6 +42,11 @@ pub struct SimConfig {
     /// counters, and a bounded command trace (see [`run_instrumented`]).
     /// `None` (the default) keeps every hot-path hook to a single branch.
     pub telemetry: Option<TelemetryConfig>,
+    /// When set, the reliability subsystem is armed: fault injection, ECC,
+    /// patrol scrubbing, and graceful degradation (crate
+    /// `microbank-faults`). `None` (the default) keeps the golden path
+    /// bit-identical to a build without the subsystem.
+    pub faults: Option<FaultConfig>,
 }
 
 impl SimConfig {
@@ -57,6 +63,7 @@ impl SimConfig {
             seed: 0xC0FFEE,
             ctrl_stride: 2,
             telemetry: None,
+            faults: None,
         }
     }
 
@@ -79,6 +86,12 @@ impl SimConfig {
     /// Enable telemetry collection with the given configuration.
     pub fn with_telemetry(mut self, tc: TelemetryConfig) -> Self {
         self.telemetry = Some(tc);
+        self
+    }
+
+    /// Arm the reliability subsystem with the given fault configuration.
+    pub fn with_faults(mut self, fc: FaultConfig) -> Self {
+        self.faults = Some(fc);
         self
     }
 }
@@ -157,6 +170,10 @@ pub struct SimResult {
     pub per_core_committed: Vec<u64>,
     /// Simulator self-profile (wall-clock per phase, Mcycles/s).
     pub profile: RunProfile,
+    /// Reliability counters summed over channels, whole run (errors do not
+    /// reset at the warmup boundary — retirement state is cumulative).
+    /// `None` when the reliability subsystem is disabled.
+    pub reliability: Option<FaultSummary>,
 }
 
 impl SimResult {
@@ -316,6 +333,7 @@ fn stats_delta(end: &DramStats, start: &DramStats) -> DramStats {
         reads: end.reads - start.reads,
         writes: end.writes - start.writes,
         refreshes: end.refreshes - start.refreshes,
+        scrubs: end.scrubs - start.scrubs,
         data_bus_busy: end.data_bus_busy - start.data_bus_busy,
         row_hits: end.row_hits - start.row_hits,
         row_closed: end.row_closed - start.row_closed,
@@ -346,6 +364,11 @@ fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
             c.enable_telemetry(i as u16, tc.trace_capacity);
         }
     }
+    if let Some(fc) = &cfg.faults {
+        for (i, c) in ctrls.iter_mut().enumerate() {
+            c.enable_faults(fc, i);
+        }
+    }
 
     let emodel = EnergyModel::new(
         EnergyParams::for_interface(cfg.mem.interface),
@@ -366,6 +389,8 @@ fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
             "precharges",
             "row_hits",
             "row_conflicts",
+            "refreshes",
+            "scrubs",
             "queue_occupancy",
             "backlog",
             "power_w",
@@ -514,6 +539,8 @@ fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
                 d.precharges as f64,
                 d.row_hits as f64,
                 d.row_conflicts as f64,
+                d.refreshes as f64,
+                d.scrubs as f64,
                 q_mean,
                 cmp.backlog_len() as f64,
                 power_w,
@@ -556,6 +583,16 @@ fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
         .map(|c| c.stats.mean_queue_occupancy())
         .sum::<f64>()
         / ctrls.len() as f64;
+
+    let reliability = cfg.faults.as_ref().map(|_| {
+        let mut s = FaultSummary::default();
+        for c in &ctrls {
+            if let Some(eng) = &c.faults {
+                s.merge(&eng.summary);
+            }
+        }
+        s
+    });
 
     let report = cfg.telemetry.map(|_| {
         let heat: Vec<HeatCounters> = ctrls
@@ -629,6 +666,7 @@ fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
             .map(|i| cmp.core(i).stats.committed - per_core_at_warmup[i])
             .collect(),
         profile,
+        reliability,
     };
     (result, report)
 }

@@ -13,6 +13,7 @@
 use microbank_ctrl::policy::PolicyKind;
 use microbank_ctrl::predictor::PredictorKind;
 use microbank_ctrl::scheduler::SchedulerKind;
+use microbank_faults::FaultConfig;
 use microbank_sim::simulator::{golden_fingerprint, run, SimConfig};
 use microbank_workloads::suite::Workload;
 
@@ -312,6 +313,80 @@ fn golden_runs_are_deterministic_across_repeats() {
     let a = golden_fingerprint(&run(&config_for(part, sched, policy)));
     let b = golden_fingerprint(&run(&config_for(part, sched, policy)));
     assert_eq!(a, b);
+}
+
+/// The reliability subsystem's hooks must be invisible when disabled:
+/// `SimConfig.faults` defaults to `None`, and the table test above already
+/// pins that path to the committed fingerprints. This test pins the
+/// *stronger* claim: even with a fault engine attached, a clean
+/// [`FaultConfig`] (no defects, zero flip rates, no scrubber) reproduces
+/// the committed fingerprint bit-identically — the per-read ECC
+/// assessment, the remap shim, and the loss of the idle-tick fast path are
+/// all behavior-neutral.
+#[test]
+fn clean_fault_engine_reproduces_golden_fingerprint() {
+    for &(part, sched, policy) in &[("8x8", "parbs", "pred"), ("1x1", "frfcfs", "open")] {
+        let want = GOLDEN
+            .iter()
+            .find(|g| g.0 == part && g.1 == sched && g.2 == policy)
+            .map(|g| g.3)
+            .unwrap();
+        let cfg = config_for(part, sched, policy).with_faults(FaultConfig::new(7));
+        let r = run(&cfg);
+        assert_eq!(
+            golden_fingerprint(&r),
+            want,
+            "{part}/{sched}/{policy}: clean fault engine perturbed the simulated behavior"
+        );
+        let summary = r.reliability.expect("engine was armed");
+        assert!(summary.reads_checked > 0, "ECC hook never ran");
+        assert_eq!(
+            summary.corrected + summary.detected + summary.miscorrected,
+            0
+        );
+    }
+}
+
+/// With faults armed at a fixed seed, repeat runs must be bit-identical:
+/// same fingerprint AND same reliability counters. Fault sampling, ECC
+/// verdicts, retries, scrub scheduling, and retirement are all seeded
+/// state machines with no ambient entropy.
+#[test]
+fn faults_enabled_runs_are_repeat_deterministic() {
+    for &(part, sched, policy) in &[("8x8", "parbs", "pred"), ("1x1", "frfcfs", "close")] {
+        let mk = || config_for(part, sched, policy).with_faults(FaultConfig::stress(0xFA_017));
+        let a = run(&mk());
+        let b = run(&mk());
+        assert_eq!(
+            golden_fingerprint(&a),
+            golden_fingerprint(&b),
+            "{part}/{sched}/{policy}: faults-enabled fingerprint drifted between repeats"
+        );
+        assert_eq!(a.reliability, b.reliability);
+        let s = a.reliability.unwrap();
+        assert!(
+            s.corrected + s.detected > 0,
+            "{part}/{sched}/{policy}: stress config injected no observable errors"
+        );
+    }
+}
+
+/// The blast-radius argument (§ retirement granularity): the same physical
+/// defects, projected onto finer μbank partitions, retire smaller units
+/// and therefore cost strictly less effective capacity.
+#[test]
+fn finer_partitions_lose_less_capacity_to_the_same_defects() {
+    let lost = |part: &str| {
+        let cfg = config_for(part, "parbs", "open").with_faults(FaultConfig::stress(0xFA_017));
+        run(&cfg).reliability.unwrap().capacity_lost_bytes
+    };
+    let coarse = lost("1x1");
+    let fine = lost("8x8");
+    assert!(
+        fine < coarse,
+        "(8,8) should lose strictly less capacity than (1,1): {fine} vs {coarse}"
+    );
+    assert!(coarse > 0, "stress config retired nothing at (1,1)");
 }
 
 /// Regression test for the warmup latency clamp: a read enqueued during

@@ -18,6 +18,9 @@ pub struct HeatCounters {
     pub row_hits: Vec<u64>,
     pub row_conflicts: Vec<u64>,
     pub row_closed: Vec<u64>,
+    /// ECC-corrected errors attributed to the μbank (reliability
+    /// subsystem; all-zero when fault injection is disabled).
+    pub corrected: Vec<u64>,
 }
 
 impl HeatCounters {
@@ -29,6 +32,7 @@ impl HeatCounters {
             row_hits: vec![0; n_ubanks],
             row_conflicts: vec![0; n_ubanks],
             row_closed: vec![0; n_ubanks],
+            corrected: vec![0; n_ubanks],
         }
     }
 
@@ -64,6 +68,9 @@ impl HeatCounters {
         for (a, b) in self.row_closed.iter_mut().zip(&other.row_closed) {
             *a += b;
         }
+        for (a, b) in self.corrected.iter_mut().zip(&other.corrected) {
+            *a += b;
+        }
     }
 
     /// Counter deltas since an earlier snapshot of the same counters
@@ -85,6 +92,7 @@ impl HeatCounters {
             row_hits: sub(&self.row_hits, &earlier.row_hits),
             row_conflicts: sub(&self.row_conflicts, &earlier.row_conflicts),
             row_closed: sub(&self.row_closed, &earlier.row_closed),
+            corrected: sub(&self.corrected, &earlier.corrected),
         }
     }
 
@@ -126,7 +134,13 @@ impl HeatCounters {
             ("activates", &self.activates),
             ("row_hits", &self.row_hits),
             ("row_conflicts", &self.row_conflicts),
+            ("corrected", &self.corrected),
         ] {
+            // Corrected-error heat only renders when the reliability
+            // subsystem produced any (keeps the default artifact stable).
+            if name == "corrected" && data.iter().all(|&v| v == 0) {
+                continue;
+            }
             let grid = self.fold_grid(data);
             let total: u64 = data.iter().sum();
             let _ = writeln!(
@@ -151,15 +165,16 @@ impl HeatCounters {
     }
 
     /// CSV with one row per flat μbank:
-    /// `flat,bank,b,w,activates,row_hits,row_conflicts,row_closed`.
+    /// `flat,bank,b,w,activates,row_hits,row_conflicts,row_closed,corrected`.
     pub fn to_csv(&self) -> String {
         let per_bank = self.n_w * self.n_b;
-        let mut out = String::from("flat,bank,b,w,activates,row_hits,row_conflicts,row_closed\n");
+        let mut out =
+            String::from("flat,bank,b,w,activates,row_hits,row_conflicts,row_closed,corrected\n");
         for flat in 0..self.num_ubanks() {
             let within = flat % per_bank;
             let _ = writeln!(
                 out,
-                "{flat},{},{},{},{},{},{},{}",
+                "{flat},{},{},{},{},{},{},{},{}",
                 flat / per_bank,
                 within / self.n_w,
                 within % self.n_w,
@@ -167,6 +182,7 @@ impl HeatCounters {
                 self.row_hits[flat],
                 self.row_conflicts[flat],
                 self.row_closed[flat],
+                self.corrected[flat],
             );
         }
         out
@@ -187,6 +203,7 @@ impl HeatCounters {
             ("row_hits", &self.row_hits),
             ("row_conflicts", &self.row_conflicts),
             ("row_closed", &self.row_closed),
+            ("corrected", &self.corrected),
         ] {
             w.key(name).begin_array();
             for &v in data.iter() {

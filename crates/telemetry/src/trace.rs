@@ -16,6 +16,8 @@ pub enum CmdKind {
     Rd,
     Wr,
     Ref,
+    /// Patrol-scrub read-correct-restore cycle (reliability subsystem).
+    Scrub,
 }
 
 impl CmdKind {
@@ -27,6 +29,7 @@ impl CmdKind {
             CmdKind::Rd => "RD",
             CmdKind::Wr => "WR",
             CmdKind::Ref => "REF",
+            CmdKind::Scrub => "SCRUB",
         }
     }
 
@@ -38,6 +41,7 @@ impl CmdKind {
             "RD" => CmdKind::Rd,
             "WR" => CmdKind::Wr,
             "REF" => CmdKind::Ref,
+            "SCRUB" => CmdKind::Scrub,
             _ => return None,
         })
     }
@@ -265,6 +269,7 @@ mod tests {
             CmdKind::Rd,
             CmdKind::Wr,
             CmdKind::Ref,
+            CmdKind::Scrub,
         ] {
             assert_eq!(CmdKind::from_name(k.name()), Some(k));
         }
