@@ -105,12 +105,14 @@ impl Histogram {
         self.max
     }
 
-    /// Merge another histogram into this one.
+    /// Merge another histogram into this one. Saturating on every counter,
+    /// matching `record`'s contract: merging shard-local histograms whose
+    /// counts sit near `u64::MAX` must pin at the ceiling, not wrap.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);

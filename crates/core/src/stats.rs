@@ -37,20 +37,27 @@ pub struct DramStats {
 }
 
 impl DramStats {
-    /// Accumulate another stats block (e.g. per-channel → system).
+    /// Accumulate another stats block (e.g. per-channel → system, or a
+    /// shard's counters into the global view). Saturating, matching the
+    /// within-shard accumulation contract: a counter pinned near `u64::MAX`
+    /// must degrade to the ceiling, never wrap to a tiny value.
     pub fn merge(&mut self, other: &DramStats) {
-        self.activates += other.activates;
-        self.precharges += other.precharges;
-        self.reads += other.reads;
-        self.writes += other.writes;
-        self.refreshes += other.refreshes;
-        self.scrubs += other.scrubs;
-        self.data_bus_busy += other.data_bus_busy;
-        self.row_hits += other.row_hits;
-        self.row_closed += other.row_closed;
-        self.row_conflicts += other.row_conflicts;
-        self.powerdown_rank_cycles += other.powerdown_rank_cycles;
-        self.powerdown_entries += other.powerdown_entries;
+        self.activates = self.activates.saturating_add(other.activates);
+        self.precharges = self.precharges.saturating_add(other.precharges);
+        self.reads = self.reads.saturating_add(other.reads);
+        self.writes = self.writes.saturating_add(other.writes);
+        self.refreshes = self.refreshes.saturating_add(other.refreshes);
+        self.scrubs = self.scrubs.saturating_add(other.scrubs);
+        self.data_bus_busy = self.data_bus_busy.saturating_add(other.data_bus_busy);
+        self.row_hits = self.row_hits.saturating_add(other.row_hits);
+        self.row_closed = self.row_closed.saturating_add(other.row_closed);
+        self.row_conflicts = self.row_conflicts.saturating_add(other.row_conflicts);
+        self.powerdown_rank_cycles = self
+            .powerdown_rank_cycles
+            .saturating_add(other.powerdown_rank_cycles);
+        self.powerdown_entries = self
+            .powerdown_entries
+            .saturating_add(other.powerdown_entries);
     }
 
     /// Total column accesses.
@@ -102,6 +109,22 @@ mod tests {
         assert_eq!(a.writes, 5);
         assert_eq!(a.columns(), 7);
         assert_eq!(a.row_hits, 7);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = DramStats {
+            activates: u64::MAX - 1,
+            ..Default::default()
+        };
+        let b = DramStats {
+            activates: 16,
+            reads: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.activates, u64::MAX);
+        assert_eq!(a.reads, 2);
     }
 
     #[test]

@@ -81,4 +81,22 @@ proptest! {
         h.merge(&other); // must not overflow either
         prop_assert_eq!(h.count(), n as u64 + 2);
     }
+
+    /// Cross-shard merges follow the same saturating contract as `record`:
+    /// two histograms whose counts together exceed u64::MAX pin the merged
+    /// count (and the affected bucket) at the ceiling instead of wrapping.
+    #[test]
+    fn merge_saturates_counts_and_buckets(v in 1u64..1_000_000, extra in 1u64..1_000) {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(v, u64::MAX - extra);
+        b.record_n(v, 2 * extra);
+        a.merge(&b);
+        prop_assert_eq!(a.count(), u64::MAX, "merged count wrapped instead of saturating");
+        prop_assert_eq!(a.sum(), u64::MAX);
+        // The shared bucket carries the whole count, so it must pin too.
+        let buckets = a.nonzero_buckets();
+        prop_assert_eq!(buckets.len(), 1);
+        prop_assert_eq!(buckets[0].1, u64::MAX);
+    }
 }

@@ -540,9 +540,35 @@ impl MemoryController {
                 if self.queue.pending_for_bank(flat) == 0 {
                     self.speculate(flat, r.loc.row, r.thread, now);
                 }
+                // The assessment above may have retired this μbank (an
+                // uncorrectable error escalates through the degradation
+                // ladder). Any policy state left armed for it — including
+                // the close deadline `speculate` may have just re-armed —
+                // targets a μbank that no longer exists.
+                if self
+                    .faults
+                    .as_deref()
+                    .is_some_and(|e| e.degrade.is_ubank_retired(r.flat))
+                {
+                    self.clear_retired_policy_state(flat);
+                }
             }
         }
         true
+    }
+
+    /// Drop page-policy state still armed for a μbank the reliability
+    /// engine just retired: the pending decision, any predictor
+    /// auto-precharge, and the close deadline. Without this, a stale
+    /// deadline promotes the dead μbank back into `pre_due`, where
+    /// `idle_until` keeps the controller awake waiting on a precharge
+    /// that can never issue. Stale `deadline_heap` entries are dropped
+    /// lazily by the `close_deadline` equality check.
+    fn clear_retired_policy_state(&mut self, flat: usize) {
+        self.pending[flat] = None;
+        self.auto_pre[flat] = false;
+        self.close_deadline[flat] = Cycle::MAX;
+        self.pre_due.remove(&flat);
     }
 
     /// Patrol scrubbing on otherwise-idle command slots: background
@@ -600,10 +626,14 @@ impl MemoryController {
         eng.assess_scrub(flat, row, age);
         let corrected = eng.summary.corrected - before;
         eng.scrub.as_mut().unwrap().issued(now);
+        let retired = eng.degrade.is_ubank_retired(flat);
         if corrected > 0 {
             if let Some(tel) = &mut self.channel.telemetry {
                 tel.heat.corrected[flat_us] += corrected;
             }
+        }
+        if retired {
+            self.clear_retired_policy_state(flat_us);
         }
         true
     }
@@ -1120,5 +1150,67 @@ mod tests {
         }
         assert!(c.stats.mean_queue_occupancy() > 0.0);
         assert_eq!(c.stats.tick_calls, 100);
+    }
+
+    /// Regression: retiring a μbank while its close deadline is armed must
+    /// drop that deadline (and any auto-precharge) with it. The failure
+    /// mode was a stale `deadline_heap` entry promoting the dead μbank back
+    /// into `pre_due`, issuing a policy PRE against a μbank the degradation
+    /// ladder had already removed.
+    #[test]
+    fn retiring_a_ubank_drops_its_pending_close_deadline() {
+        let cf = cfg(4, 4);
+        let mut fc = FaultConfig::new(3);
+        fc.subarray_faults = 1;
+        // Locate the bad μbank with a probe engine: `FaultEngine::new` is
+        // deterministic per (seed, channel), so the controller's own engine
+        // carries the same fault map.
+        let mut probe = FaultEngine::new(&cf, &fc, 0);
+        let bad = (0..cf.ubanks_per_channel() as u32)
+            .find(|&f| probe.assess_demand_read(f, 0, 0.0, false) == AccessVerdict::Uncorrectable)
+            .expect("subarray fault marks one μbank bad");
+        let window = 200;
+        let mut c = ctrl(
+            &cf,
+            PolicyKind::MinimalistOpen {
+                window_cycles: window,
+            },
+        );
+        c.enable_faults(&fc, 0);
+        // A read addressed at the bad μbank, row 0 (low addresses decode to
+        // row 0; scan for the address that lands on the target flat).
+        let addr = (0..1 << 20)
+            .step_by(64)
+            .find(|&a| {
+                let loc = c.map().decode(a);
+                loc.ubank_flat(&cf) as u32 == bad && loc.row == 0
+            })
+            .expect("some cache line maps to the bad μbank");
+        assert!(c.enqueue(mkreq(&c, 1, addr, ReqKind::Read, 0), 0));
+        let done = run_until(&mut c, 1, 10_000);
+        assert_eq!(done.len(), 1, "uncorrectable reads still complete");
+        let flat = bad as usize;
+        assert!(
+            c.faults.as_ref().unwrap().degrade.is_ubank_retired(bad),
+            "the uncorrectable read retires the μbank"
+        );
+        // The deadline `speculate` armed on service must be gone, along
+        // with every other piece of policy state for the flat.
+        assert_eq!(c.close_deadline[flat], Cycle::MAX);
+        assert!(!c.auto_pre[flat]);
+        assert!(c.pending[flat].is_none());
+        assert!(!c.pre_due.contains(&flat));
+        // And no policy PRE may fire once the window elapses: the heap's
+        // stale entry is discarded, not promoted.
+        let pres = c.channel.stats.precharges;
+        let start = done[0].at;
+        for now in start..start + 4 * window {
+            c.tick(now);
+        }
+        assert_eq!(
+            c.channel.stats.precharges, pres,
+            "policy precharge issued against a retired μbank"
+        );
+        assert!(c.pre_due.is_empty());
     }
 }

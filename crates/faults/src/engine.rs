@@ -49,18 +49,23 @@ pub struct FaultSummary {
 }
 
 impl FaultSummary {
+    /// Accumulate another channel's (or shard's) counters. Saturating,
+    /// matching the cross-shard merge contract of the other telemetry
+    /// counters: pinned at `u64::MAX` rather than wrapped.
     pub fn merge(&mut self, other: &FaultSummary) {
-        self.reads_checked += other.reads_checked;
-        self.scrub_checks += other.scrub_checks;
-        self.corrected += other.corrected;
-        self.corrected_hard += other.corrected_hard;
-        self.detected += other.detected;
-        self.miscorrected += other.miscorrected;
-        self.retries += other.retries;
-        self.retired_rows += other.retired_rows;
-        self.retired_ubanks += other.retired_ubanks;
-        self.retire_refused += other.retire_refused;
-        self.capacity_lost_bytes += other.capacity_lost_bytes;
+        self.reads_checked = self.reads_checked.saturating_add(other.reads_checked);
+        self.scrub_checks = self.scrub_checks.saturating_add(other.scrub_checks);
+        self.corrected = self.corrected.saturating_add(other.corrected);
+        self.corrected_hard = self.corrected_hard.saturating_add(other.corrected_hard);
+        self.detected = self.detected.saturating_add(other.detected);
+        self.miscorrected = self.miscorrected.saturating_add(other.miscorrected);
+        self.retries = self.retries.saturating_add(other.retries);
+        self.retired_rows = self.retired_rows.saturating_add(other.retired_rows);
+        self.retired_ubanks = self.retired_ubanks.saturating_add(other.retired_ubanks);
+        self.retire_refused = self.retire_refused.saturating_add(other.retire_refused);
+        self.capacity_lost_bytes = self
+            .capacity_lost_bytes
+            .saturating_add(other.capacity_lost_bytes);
     }
 }
 
@@ -264,6 +269,22 @@ mod tests {
 
     fn find_bad_ubank(e: &FaultEngine) -> u32 {
         *e.map.bad_ubanks.iter().min().unwrap()
+    }
+
+    #[test]
+    fn summary_merge_saturates() {
+        let mut a = FaultSummary {
+            corrected: u64::MAX - 1,
+            ..Default::default()
+        };
+        let b = FaultSummary {
+            corrected: 10,
+            retries: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.corrected, u64::MAX);
+        assert_eq!(a.retries, 3);
     }
 
     #[test]

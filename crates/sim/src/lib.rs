@@ -14,6 +14,7 @@
 
 pub mod experiment;
 pub mod report;
+pub mod shard;
 pub mod simulator;
 
 pub use experiment::{

@@ -1,0 +1,914 @@
+//! Channel-sharded parallel drive: one simulation spread across OS
+//! threads by memory channel, bit-identical to the sequential loop.
+//!
+//! # Architecture
+//!
+//! The coordinating thread keeps everything that is globally ordered —
+//! the CPU system (cores, caches, NoC), fill delivery, the enqueue-time
+//! slab, and the epoch timeline. Each worker thread owns a disjoint set
+//! of [`MemoryController`]s and ticks them on the controller stride,
+//! exactly as the sequential loop would.
+//!
+//! Time is cut into *slots* of `ctrl_stride` cycles. The two sides run
+//! one slot apart in a pipeline:
+//!
+//! - The coordinator processes CPU cycles `S..S+stride`, appending every
+//!   enqueue *attempt* (accepted or rejected) to the owning channel's
+//!   mailbox, then publishes `watermark = S+stride` — a promise that the
+//!   enqueue stream for all cycles `< S+stride` is sealed.
+//! - A worker may tick slot `S` once `watermark ≥ S`: it first replays
+//!   the mailbox ops with `cycle < S` into its controllers (asserting
+//!   each replay matches the coordinator's accept/reject decision), then
+//!   ticks, then publishes its completions and bumps its `done` counter.
+//! - At the end of phase `S` the coordinator waits for every worker's
+//!   `done` to cover slot `S` and drains their completion mailboxes.
+//!
+//! # Why the result is bit-identical
+//!
+//! The only information the coordinator needs *before* a worker has
+//! caught up is the enqueue accept/reject decision (the CPU model's
+//! entire interaction with memory is `submit → bool` plus fills). The
+//! coordinator mirrors per-channel queue occupancy: `+1` per accepted
+//! enqueue, `-1` per drained completion. A controller removes at most
+//! one request per tick, so while slot `S` is in flight the mirror can
+//! only *overestimate* the queue by the removals of that one slot. If
+//! the mirror says `occ < capacity` the accept is provably correct; if
+//! it says full, the coordinator syncs with the owning worker through
+//! slot `S` — after which the mirror is exact — and then decides. Every
+//! other cross-thread quantity (read latencies, fill deliveries, epoch
+//! rows, warmup snapshots) is either commutative or re-ordered behind a
+//! unique total key, so the merge reproduces the sequential values
+//! exactly. Fill deliveries stay complete because a completion from
+//! slot `T` is delivered at `≥ T + noc_latency`, and the drive requires
+//! `noc_latency ≥ ctrl_stride` (checked by the dispatcher in
+//! `run_inner`).
+//!
+//! Warmup and epoch snapshots are taken *inside* the workers at the
+//! exact replay point the sequential loop would take them: before the
+//! first op or tick at a cycle `≥` the snapshot threshold. Epoch rows
+//! are assembled by the coordinator once every channel's snapshot for a
+//! boundary has arrived, in boundary order, so the timeline is
+//! identical row for row.
+
+use crate::simulator::{stats_delta, Delivery, DriveOutput, EnqueueSlab, SimConfig};
+use microbank_core::address::AddressMap;
+use microbank_core::request::{MemRequest, ReqKind};
+use microbank_core::stats::DramStats;
+use microbank_core::Cycle;
+use microbank_cpu::system::{CmpSystem, MemPort, SubmittedReq};
+use microbank_ctrl::controller::{Completion, MemoryController};
+use microbank_energy::power::PowerIntegrator;
+use microbank_telemetry::{HeatCounters, PhaseTimer, Timeline};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// One enqueue attempt crossing from coordinator to worker. Rejected
+/// attempts are shipped too: the replay must reproduce the controller's
+/// `rejected` counter and the replay-divergence assert needs both sides.
+pub(crate) struct EnqOp {
+    pub(crate) cycle: Cycle,
+    pub(crate) req: MemRequest,
+    pub(crate) accepted: bool,
+}
+
+/// Per-channel epoch snapshot: the channel's cumulative counters and
+/// instantaneous queue depth at an epoch boundary.
+struct ChanSnap {
+    channel: usize,
+    boundary: Cycle,
+    stats: DramStats,
+    qlen: usize,
+}
+
+/// Per-channel warmup-boundary snapshot, open-row adjusted exactly like
+/// the sequential loop (open rows' activates belong to the window).
+struct WarmupSnap {
+    channel: usize,
+    stats: DramStats,
+    heat: Option<HeatCounters>,
+}
+
+/// Mailboxes owned by one worker thread.
+struct WorkerShared {
+    /// `(slot_cycle, channel, completion)` batches, appended per slot.
+    comps: Mutex<Vec<(Cycle, usize, Completion)>>,
+    /// Cumulative count of tuples ever pushed into `comps`, stored with
+    /// `Release` before the slot's `done` bump. Lets the coordinator
+    /// skip locking a mailbox that has nothing new.
+    comps_pushed: AtomicU64,
+    snaps: Mutex<Vec<ChanSnap>>,
+    warmups: Mutex<Vec<WarmupSnap>>,
+    /// Slots completed (`k+1` after slot index `k`; [`DONE_FINAL`] after
+    /// the trailing drain). Stored with `Release` after the slot's
+    /// mailbox pushes, so a reader that observes `done ≥ k+1` and then
+    /// locks a mailbox sees everything slot `k` produced.
+    done: AtomicU64,
+}
+
+const DONE_FINAL: u64 = u64::MAX;
+
+/// One channel's enqueue mailbox. `pushed` counts ops ever pushed and is
+/// bumped (`Release`) after each push, so a consumer that tracks how many
+/// it has taken can skip the lock when nothing new arrived — the common
+/// case, since a phase's handful of submits is spread over all channels.
+struct ChanMailbox {
+    ops: Mutex<VecDeque<EnqOp>>,
+    pushed: AtomicU64,
+}
+
+impl ChanMailbox {
+    fn new() -> Self {
+        ChanMailbox {
+            ops: Mutex::new(VecDeque::new()),
+            pushed: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, op: EnqOp) {
+        self.ops.lock().push_back(op);
+        self.pushed.fetch_add(1, Ordering::Release);
+    }
+
+    /// Move every available op into `into`, returning how many moved.
+    /// `taken` is the consumer's cumulative take count.
+    fn take_into(&self, taken: u64, into: &mut VecDeque<EnqOp>) -> u64 {
+        if self.pushed.load(Ordering::Acquire) == taken {
+            return 0;
+        }
+        let mut mb = self.ops.lock();
+        let n = mb.len() as u64;
+        into.append(&mut mb);
+        n
+    }
+}
+
+struct Shared {
+    /// Spin budget for every wait in this drive (see [`spin_budget`]).
+    spin: u32,
+    /// Enqueue streams for all cycles `< watermark` are sealed.
+    watermark: AtomicU64,
+    /// Set by whichever side panics, so every spin loop can bail out.
+    aborted: AtomicBool,
+    /// Per-channel enqueue mailboxes, in emission (= cycle) order.
+    chans: Vec<ChanMailbox>,
+    workers: Vec<WorkerShared>,
+}
+
+/// Sets the abort flag if its scope unwinds, so the other side's spin
+/// loops fail fast instead of hanging.
+struct AbortGuard<'a>(&'a AtomicBool);
+
+impl Drop for AbortGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Spin up to `budget` iterations, then yield, until `cond` holds,
+/// panicking if the other side aborted. The budget matters in both
+/// directions: the pipeline hands off every `ctrl_stride` cycles
+/// (hundreds of nanoseconds of work), so on a host with a core per
+/// thread a descheduled waiter — `yield_now` costs microseconds —
+/// would serialize the whole drive; on an oversubscribed host the
+/// opposite holds and spinning starves the very thread being waited
+/// on, so the caller passes a tiny budget there.
+fn wait_until(aborted: &AtomicBool, budget: u32, what: &str, cond: impl Fn() -> bool) {
+    let mut spins = 0u32;
+    while !cond() {
+        if aborted.load(Ordering::Acquire) {
+            panic!("sharded drive aborted while waiting for {what}");
+        }
+        spins = spins.wrapping_add(1);
+        if spins < budget {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Spin budget for this drive's waits: generous when the host has a
+/// hardware thread for every participant (coordinator + workers),
+/// near-zero when oversubscribed.
+fn spin_budget(workers: usize) -> u32 {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if host > workers {
+        1 << 14
+    } else {
+        8
+    }
+}
+
+/// Loop constants shared by workers and coordinator.
+#[derive(Clone, Copy)]
+struct Params {
+    total: Cycle,
+    stride: Cycle,
+    warmup: Cycle,
+    /// 0 = no epoch sampling.
+    epoch_cycles: Cycle,
+}
+
+/// Per-channel worker-side state.
+struct ChanState {
+    /// Global channel index.
+    chan: usize,
+    /// Ops drained from the mailbox but not yet applicable (their cycle
+    /// is at or past the slot being processed).
+    pending: VecDeque<EnqOp>,
+    /// Ops taken from the mailbox so far (vs. its `pushed` counter).
+    taken: u64,
+    wake: Cycle,
+    skipped: u64,
+    warmup_fired: bool,
+    /// Next epoch boundary to snapshot (`Cycle::MAX` = none).
+    next_epoch: Cycle,
+}
+
+fn worker_loop(
+    w: usize,
+    mut ctrls: Vec<MemoryController>,
+    chan_ids: Vec<usize>,
+    shared: &Shared,
+    p: Params,
+) -> Vec<(usize, MemoryController)> {
+    let mut st: Vec<ChanState> = chan_ids
+        .iter()
+        .map(|&chan| ChanState {
+            chan,
+            pending: VecDeque::new(),
+            taken: 0,
+            wake: 0,
+            skipped: 0,
+            // The sequential loop only reaches the warmup boundary when
+            // measurement cycles follow it.
+            warmup_fired: p.warmup >= p.total,
+            next_epoch: if p.epoch_cycles > 0 {
+                p.epoch_cycles
+            } else {
+                Cycle::MAX
+            },
+        })
+        .collect();
+    let me = &shared.workers[w];
+    let mut tmp: Vec<Completion> = Vec::new();
+    let mut batch: Vec<(Cycle, usize, Completion)> = Vec::new();
+    let mut pushed_total: u64 = 0;
+
+    // Fire every snapshot point with threshold ≤ `t` for channel `i`.
+    // A snapshot at threshold `q` covers exactly ops with `cycle < q`
+    // and ticks at slots `< q` — the sequential boundary semantics.
+    let fire = |ctrls: &[MemoryController], st: &mut ChanState, i: usize, t: Cycle| {
+        if !st.warmup_fired && p.warmup <= t {
+            st.warmup_fired = true;
+            let c = &ctrls[i];
+            let open = c.channel.open_ubanks();
+            let mut stats = c.channel.stats;
+            stats.activates -= open.len() as u64;
+            let heat = c.channel.telemetry.as_ref().map(|tel| {
+                let mut h = tel.heat.clone();
+                for &flat in &open {
+                    h.activates[flat] = h.activates[flat].saturating_sub(1);
+                }
+                h
+            });
+            me.warmups.lock().push(WarmupSnap {
+                channel: st.chan,
+                stats,
+                heat,
+            });
+        }
+        while st.next_epoch <= t {
+            let c = &ctrls[i];
+            me.snaps.lock().push(ChanSnap {
+                channel: st.chan,
+                boundary: st.next_epoch,
+                stats: c.channel.stats,
+                qlen: c.queue_len(),
+            });
+            st.next_epoch += p.epoch_cycles;
+        }
+    };
+
+    let mut slot_idx: u64 = 0;
+    let mut cycle: Cycle = 0;
+    while cycle < p.total {
+        wait_until(&shared.aborted, shared.spin, "watermark", || {
+            shared.watermark.load(Ordering::Acquire) >= cycle
+        });
+        for i in 0..ctrls.len() {
+            st[i].taken += shared.chans[st[i].chan].take_into(st[i].taken, &mut st[i].pending);
+            // Replay sealed enqueues: everything the coordinator emitted
+            // for cycles before this slot, in cycle order.
+            while st[i].pending.front().is_some_and(|op| op.cycle < cycle) {
+                let op = st[i].pending.pop_front().unwrap();
+                fire(&ctrls, &mut st[i], i, op.cycle);
+                let ok = ctrls[i].enqueue(op.req, op.cycle);
+                assert_eq!(
+                    ok, op.accepted,
+                    "shard replay diverged from the coordinator's occupancy mirror \
+                     (channel {}, cycle {})",
+                    st[i].chan, op.cycle
+                );
+                if ok {
+                    st[i].wake = 0;
+                }
+            }
+            fire(&ctrls, &mut st[i], i, cycle);
+            if st[i].wake > cycle {
+                st[i].skipped += 1;
+            } else {
+                ctrls[i].tick(cycle);
+                ctrls[i].take_completions(&mut tmp);
+                for comp in tmp.drain(..) {
+                    batch.push((cycle, st[i].chan, comp));
+                }
+                st[i].wake = ctrls[i].idle_until(cycle).unwrap_or(0);
+            }
+        }
+        if !batch.is_empty() {
+            pushed_total += batch.len() as u64;
+            me.comps.lock().append(&mut batch);
+            me.comps_pushed.store(pushed_total, Ordering::Release);
+        }
+        me.done.store(slot_idx + 1, Ordering::Release);
+        slot_idx += 1;
+        cycle += p.stride;
+    }
+
+    // Trailing drain: ops emitted during the final phase (cycle < total)
+    // still mutate queues, predictor-pending resolution, and `rejected`
+    // counters exactly as the sequential loop applies them; then fire any
+    // snapshot point at the very end of the run (e.g. an epoch boundary
+    // at `total`), then fold idle-skip accounting back in.
+    wait_until(&shared.aborted, shared.spin, "final watermark", || {
+        shared.watermark.load(Ordering::Acquire) >= p.total
+    });
+    for i in 0..ctrls.len() {
+        st[i].taken += shared.chans[st[i].chan].take_into(st[i].taken, &mut st[i].pending);
+        while let Some(op) = st[i].pending.pop_front() {
+            debug_assert!(op.cycle < p.total);
+            fire(&ctrls, &mut st[i], i, op.cycle);
+            let ok = ctrls[i].enqueue(op.req, op.cycle);
+            assert_eq!(ok, op.accepted, "shard replay diverged in final drain");
+            if ok {
+                st[i].wake = 0;
+            }
+        }
+        fire(&ctrls, &mut st[i], i, p.total);
+        ctrls[i].account_idle_ticks(st[i].skipped);
+    }
+    me.done.store(DONE_FINAL, Ordering::Release);
+
+    chan_ids.into_iter().zip(ctrls).collect()
+}
+
+/// An epoch row the coordinator has opened but cannot finish until every
+/// channel's boundary snapshot arrives.
+struct PendingRow {
+    boundary: Cycle,
+    /// Instructions committed in the epoch (CPU-side, exact).
+    dc: u64,
+    backlog: usize,
+}
+
+/// Accumulates per-channel boundary snapshots until all channels report.
+struct BoundaryAcc {
+    stats: DramStats,
+    qlens: Vec<usize>,
+    seen: usize,
+}
+
+/// Coordinator-side mutable state; doubles as the [`MemPort`] the CPU
+/// system submits through.
+struct Coord<'a> {
+    shared: &'a Shared,
+    map: AddressMap,
+    /// channel → owning worker.
+    owner: Vec<usize>,
+    cap: usize,
+    /// Mirrored per-channel queue occupancy (never underestimates).
+    occ: Vec<usize>,
+    /// Per worker: `done` level whose completion batches are processed.
+    drained: Vec<u64>,
+    /// Per worker: tuples consumed from its `comps` mailbox, mirrored
+    /// against `comps_pushed` to skip locking an unchanged mailbox.
+    comps_seen: Vec<u64>,
+    /// Slot index the workers may be ticking concurrently.
+    cur_slot: u64,
+    enqueue_time: EnqueueSlab,
+    deliveries: BinaryHeap<Delivery>,
+    read_latency_acc: u64,
+    read_latency_hist: microbank_core::hist::Histogram,
+    read_lat_samples: u64,
+    noc: Cycle,
+    warmup: Cycle,
+}
+
+impl Coord<'_> {
+    /// Apply one drained completion: occupancy mirror, latency
+    /// accounting (against the completion's *slot* cycle, matching the
+    /// sequential drain point), and fill delivery scheduling.
+    fn process_completion(&mut self, slot: Cycle, chan: usize, comp: Completion) {
+        self.occ[chan] -= 1;
+        if comp.is_write {
+            self.enqueue_time.remove(comp.id);
+        } else {
+            if let Some(t0) = self.enqueue_time.remove(comp.id) {
+                if slot >= self.warmup {
+                    let t0 = t0.max(self.warmup);
+                    let lat = comp.at.saturating_sub(t0);
+                    self.read_latency_acc += lat;
+                    self.read_latency_hist.record(lat);
+                    self.read_lat_samples += 1;
+                }
+            }
+            self.deliveries.push(Delivery {
+                at: comp.at.max(slot) + self.noc,
+                id: comp.id,
+            });
+        }
+    }
+
+    /// Fold in whatever worker `w` has already published, without
+    /// waiting. Skips the mailbox lock entirely when the push counter
+    /// says nothing new arrived.
+    fn take_batches(&mut self, w: usize) {
+        let ws = &self.shared.workers[w];
+        if ws.comps_pushed.load(Ordering::Acquire) == self.comps_seen[w] {
+            return;
+        }
+        let batches = std::mem::take(&mut *ws.comps.lock());
+        self.comps_seen[w] += batches.len() as u64;
+        for (slot, chan, comp) in batches {
+            self.process_completion(slot, chan, comp);
+        }
+    }
+
+    /// Ensure worker `w` has completed `through` slots and its published
+    /// completions are folded into the mirror.
+    fn drain_worker(&mut self, w: usize, through: u64) {
+        if self.drained[w] >= through {
+            return;
+        }
+        let done = &self.shared.workers[w].done;
+        wait_until(
+            &self.shared.aborted,
+            self.shared.spin,
+            "worker slot",
+            || done.load(Ordering::Acquire) >= through,
+        );
+        // Everything pushed before the observed `done` is visible once we
+        // take the mailbox lock; batches from an even newer slot may ride
+        // along, which is safe (their removals precede any enqueue the
+        // coordinator has yet to emit) — but `drained` only advances to
+        // the observed level.
+        let observed = done.load(Ordering::Acquire);
+        self.take_batches(w);
+        self.drained[w] = observed;
+    }
+
+    /// Non-waiting sync: advance the mirror with everything the worker
+    /// has published so far.
+    fn drain_published(&mut self, w: usize) {
+        let observed = self.shared.workers[w].done.load(Ordering::Acquire);
+        self.take_batches(w);
+        if observed > self.drained[w] {
+            self.drained[w] = observed;
+        }
+    }
+}
+
+impl MemPort for Coord<'_> {
+    fn submit(&mut self, req: SubmittedReq, now: Cycle) -> bool {
+        let loc = self.map.decode(req.addr);
+        let ch = loc.channel as usize;
+        if self.occ[ch] >= self.cap {
+            // Cheap first: fold in whatever the owner already published —
+            // with lazy draining the mirror may simply be stale.
+            self.drain_published(self.owner[ch]);
+        }
+        if self.occ[ch] >= self.cap {
+            // The mirror now overestimates by at most the removals of the
+            // slot currently in flight (a worker cannot tick past it: the
+            // watermark for the next slot is unpublished). Sync with the
+            // owner through that slot; afterwards the mirror is exact and
+            // the decision below equals the sequential one.
+            self.drain_worker(self.owner[ch], self.cur_slot + 1);
+        }
+        let accepted = self.occ[ch] < self.cap;
+        let kind = if req.is_write {
+            ReqKind::Write
+        } else {
+            ReqKind::Read
+        };
+        let mut r = MemRequest::new(req.id, req.addr, kind, req.thread, now);
+        r.loc = loc;
+        self.shared.chans[ch].push(EnqOp {
+            cycle: now,
+            req: r,
+            accepted,
+        });
+        if accepted {
+            self.occ[ch] += 1;
+            self.enqueue_time.insert(req.id, now);
+        }
+        accepted
+    }
+}
+
+/// The channel-sharded drive. Same contract as `drive_sequential`: takes
+/// the freshly built controllers, returns them (final state identical to
+/// a sequential run) plus warmup snapshots and latency accounting, and
+/// pushes the same epoch rows into `timeline`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
+    cfg: &SimConfig,
+    cmp: &mut CmpSystem<S>,
+    ctrls: Vec<MemoryController>,
+    integrator: &PowerIntegrator,
+    timeline: &mut Option<Timeline>,
+    timer: &mut PhaseTimer,
+    workers: usize,
+) -> DriveOutput {
+    let channels = ctrls.len();
+    let workers = workers.min(channels).max(1);
+    let p = Params {
+        total: cfg.warmup_cycles + cfg.measure_cycles,
+        stride: cfg.ctrl_stride.max(1),
+        warmup: cfg.warmup_cycles,
+        epoch_cycles: cfg.telemetry.map_or(0, |tc| tc.epoch_cycles),
+    };
+    debug_assert!(cfg.cmp.noc_latency >= p.stride, "dispatcher invariant");
+    let map = ctrls[0].map().clone();
+
+    // Contiguous channel partition, remainder spread over the first
+    // workers: worker `w` owns `chunks[w]`.
+    let mut chunks: Vec<(Vec<MemoryController>, Vec<usize>)> = Vec::with_capacity(workers);
+    let mut owner = vec![0usize; channels];
+    {
+        let base = channels / workers;
+        let rem = channels % workers;
+        let mut it = ctrls.into_iter().enumerate();
+        for w in 0..workers {
+            let take = base + usize::from(w < rem);
+            let mut cs = Vec::with_capacity(take);
+            let mut ids = Vec::with_capacity(take);
+            for _ in 0..take {
+                let (chan, c) = it.next().expect("partition covers all channels");
+                owner[chan] = w;
+                ids.push(chan);
+                cs.push(c);
+            }
+            chunks.push((cs, ids));
+        }
+    }
+
+    let shared = Shared {
+        spin: spin_budget(workers),
+        watermark: AtomicU64::new(0),
+        aborted: AtomicBool::new(false),
+        chans: (0..channels).map(|_| ChanMailbox::new()).collect(),
+        workers: (0..workers)
+            .map(|_| WorkerShared {
+                comps: Mutex::new(Vec::new()),
+                comps_pushed: AtomicU64::new(0),
+                snaps: Mutex::new(Vec::new()),
+                warmups: Mutex::new(Vec::new()),
+                done: AtomicU64::new(0),
+            })
+            .collect(),
+    };
+
+    std::thread::scope(|s| {
+        let shared = &shared;
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(w, (cs, ids))| {
+                std::thread::Builder::new()
+                    .name(format!("ubank-shard-{w}"))
+                    .spawn_scoped(s, move || {
+                        let _guard = AbortGuard(&shared.aborted);
+                        worker_loop(w, cs, ids, shared, p)
+                    })
+                    .expect("spawn shard worker")
+            })
+            .collect();
+
+        let _guard = AbortGuard(&shared.aborted);
+        let mut coord = Coord {
+            shared,
+            map,
+            owner,
+            cap: cfg.mem.queue_size,
+            occ: vec![0; channels],
+            drained: vec![0; workers],
+            comps_seen: vec![0; workers],
+            cur_slot: 0,
+            enqueue_time: EnqueueSlab::new(),
+            deliveries: BinaryHeap::new(),
+            read_latency_acc: 0,
+            read_latency_hist: microbank_core::hist::Histogram::new(),
+            read_lat_samples: 0,
+            noc: cfg.cmp.noc_latency,
+            warmup: cfg.warmup_cycles,
+        };
+
+        let mut committed_at_warmup = 0u64;
+        let mut per_core_at_warmup: Vec<u64> = vec![0; cfg.cmp.cores];
+        let mut epoch_committed = 0u64;
+        let mut epoch_stats_prev = DramStats::default();
+        let mut pending_rows: VecDeque<PendingRow> = VecDeque::new();
+        let mut accs: BTreeMap<Cycle, BoundaryAcc> = BTreeMap::new();
+
+        // Fold newly arrived boundary snapshots in and finish every
+        // pending epoch row whose channels have all reported, in order.
+        let finalize = |coordless_shared: &Shared,
+                        accs: &mut BTreeMap<Cycle, BoundaryAcc>,
+                        pending_rows: &mut VecDeque<PendingRow>,
+                        epoch_stats_prev: &mut DramStats,
+                        timeline: &mut Option<Timeline>| {
+            for ws in &coordless_shared.workers {
+                let snaps = std::mem::take(&mut *ws.snaps.lock());
+                for sn in snaps {
+                    let acc = accs.entry(sn.boundary).or_insert_with(|| BoundaryAcc {
+                        stats: DramStats::default(),
+                        qlens: vec![0; channels],
+                        seen: 0,
+                    });
+                    acc.stats.merge(&sn.stats);
+                    acc.qlens[sn.channel] = sn.qlen;
+                    acc.seen += 1;
+                }
+            }
+            while let Some(front) = pending_rows.front() {
+                let complete = accs
+                    .get(&front.boundary)
+                    .is_some_and(|a| a.seen == channels);
+                if !complete {
+                    break;
+                }
+                let row_info = pending_rows.pop_front().unwrap();
+                let acc = accs.remove(&row_info.boundary).unwrap();
+                let d = stats_delta(&acc.stats, epoch_stats_prev);
+                *epoch_stats_prev = acc.stats;
+                let e = p.epoch_cycles;
+                let q_mean = acc.qlens.iter().sum::<usize>() as f64 / acc.qlens.len().max(1) as f64;
+                let power_w = integrator.integrate(&d, e).to_watts(e).total_w();
+                let mut row = vec![
+                    row_info.dc as f64 / e as f64,
+                    d.reads as f64,
+                    d.writes as f64,
+                    d.activates as f64,
+                    d.precharges as f64,
+                    d.row_hits as f64,
+                    d.row_conflicts as f64,
+                    d.refreshes as f64,
+                    d.scrubs as f64,
+                    q_mean,
+                    row_info.backlog as f64,
+                    power_w,
+                    d.powerdown_rank_cycles as f64,
+                ];
+                if channels > 1 {
+                    row.extend(acc.qlens.iter().map(|&q| q as f64));
+                }
+                timeline
+                    .as_mut()
+                    .expect("epoch implies timeline")
+                    .push(row_info.boundary, row);
+            }
+        };
+
+        let mut now: Cycle = 0;
+        let mut slot_cycle: Cycle = 0;
+        let mut slot_idx: u64 = 0;
+        while slot_cycle < p.total {
+            coord.cur_slot = slot_idx;
+            let phase_end = (slot_cycle + p.stride).min(p.total);
+            // Lazy drain: a completion from slot `k` surfaces as a fill no
+            // earlier than cycle `k·stride + noc`, so only slots whose
+            // fills could come due inside this phase must be synced now.
+            // `noc ≥ stride` gives the pipeline `noc/stride` slots of
+            // slack before the coordinator ever waits on a worker.
+            let due = {
+                let last = phase_end - 1;
+                if last >= coord.noc {
+                    (last - coord.noc) / p.stride + 1
+                } else {
+                    0
+                }
+            };
+            for w in 0..workers {
+                coord.drain_worker(w, due);
+            }
+            while now < phase_end {
+                if now == cfg.warmup_cycles {
+                    timer.mark("warmup");
+                    committed_at_warmup = cmp.total_committed();
+                    for (i, c) in per_core_at_warmup.iter_mut().enumerate() {
+                        *c = cmp.core(i).stats.committed;
+                    }
+                }
+                while coord.deliveries.peek().is_some_and(|d| d.at <= now) {
+                    let d = coord.deliveries.pop().unwrap();
+                    cmp.on_fill(d.id, now, &mut coord);
+                }
+                cmp.tick(now, &mut coord);
+                if p.epoch_cycles > 0 && (now + 1).is_multiple_of(p.epoch_cycles) {
+                    let committed_now = cmp.total_committed();
+                    pending_rows.push_back(PendingRow {
+                        boundary: now + 1,
+                        dc: committed_now - epoch_committed,
+                        backlog: cmp.backlog_len(),
+                    });
+                    epoch_committed = committed_now;
+                }
+                now += 1;
+            }
+            shared.watermark.store(phase_end, Ordering::Release);
+            if !pending_rows.is_empty() {
+                finalize(
+                    shared,
+                    &mut accs,
+                    &mut pending_rows,
+                    &mut epoch_stats_prev,
+                    timeline,
+                );
+            }
+            slot_idx += 1;
+            slot_cycle += p.stride;
+        }
+
+        // Let the workers run their trailing drain, fold in the tail of
+        // the completion stream the lazy drain never needed, then collect
+        // the end-of-run snapshots (an epoch boundary can land exactly at
+        // `total`).
+        for w in 0..workers {
+            coord.drain_worker(w, DONE_FINAL);
+        }
+        finalize(
+            shared,
+            &mut accs,
+            &mut pending_rows,
+            &mut epoch_stats_prev,
+            timeline,
+        );
+        assert!(pending_rows.is_empty(), "unfinished epoch rows");
+        timer.mark("measure");
+
+        // Reassemble controllers in channel order and fold in the warmup
+        // snapshots.
+        let mut slots: Vec<Option<MemoryController>> = (0..channels).map(|_| None).collect();
+        for h in handles {
+            match h.join() {
+                Ok(pairs) => {
+                    for (chan, c) in pairs {
+                        slots[chan] = Some(c);
+                    }
+                }
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+        let ctrls: Vec<MemoryController> = slots
+            .into_iter()
+            .map(|c| c.expect("every channel returned"))
+            .collect();
+
+        let mut dram_at_warmup = DramStats::default();
+        let mut heat_slots: Vec<Option<HeatCounters>> = vec![None; channels];
+        for ws in &shared.workers {
+            for snap in std::mem::take(&mut *ws.warmups.lock()) {
+                dram_at_warmup.merge(&snap.stats);
+                heat_slots[snap.channel] = snap.heat;
+            }
+        }
+        let heat_at_warmup: Vec<HeatCounters> = heat_slots.into_iter().flatten().collect();
+
+        DriveOutput {
+            ctrls,
+            committed_at_warmup,
+            per_core_at_warmup,
+            dram_at_warmup,
+            heat_at_warmup,
+            read_latency_acc: coord.read_latency_acc,
+            read_latency_hist: coord.read_latency_hist,
+            read_lat_samples: coord.read_lat_samples,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn req(id: u64, cycle: Cycle) -> MemRequest {
+        MemRequest::new(id, id * 64, ReqKind::Read, 0, cycle)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The mailbox + watermark protocol: every op the coordinator
+        /// emits is observed by the owning consumer exactly once, in
+        /// emission order within its channel, and never before its cycle
+        /// has been sealed by the watermark.
+        #[test]
+        fn mailbox_loses_nothing_and_keeps_channel_order(
+            n_chan in 1usize..5,
+            plan in prop::collection::vec((0u8..4, 0u64..3), 1..300),
+            batch in 1usize..8,
+        ) {
+            let shared = Shared {
+                spin: spin_budget(2),
+                watermark: AtomicU64::new(0),
+                aborted: AtomicBool::new(false),
+                chans: (0..n_chan).map(|_| ChanMailbox::new()).collect(),
+                workers: Vec::new(),
+            };
+            // Pre-compute the expected per-channel (id, cycle) sequences.
+            let mut expected: Vec<Vec<(u64, Cycle)>> = vec![Vec::new(); n_chan];
+            {
+                let mut cycle: Cycle = 0;
+                for (i, &(ch_sel, gap)) in plan.iter().enumerate() {
+                    cycle += gap;
+                    expected[ch_sel as usize % n_chan].push((i as u64, cycle));
+                }
+            }
+            let done = AtomicBool::new(false);
+            // Two consumers splitting the channels, like shard workers do.
+            let split = n_chan.div_ceil(2);
+            let got = std::thread::scope(|s| {
+                let shared = &shared;
+                let done = &done;
+                let consumers: Vec<_> = [(0..split), (split..n_chan)]
+                    .into_iter()
+                    .map(|chans| {
+                        s.spawn(move || {
+                            let mut got: Vec<Vec<(u64, Cycle)>> =
+                                vec![Vec::new(); n_chan];
+                            loop {
+                                let finished = done.load(Ordering::Acquire);
+                                let wm = shared.watermark.load(Ordering::Acquire);
+                                for ch in chans.clone() {
+                                    let mut mb = shared.chans[ch].ops.lock();
+                                    while mb.front().is_some_and(|op| op.cycle < wm) {
+                                        let op = mb.pop_front().unwrap();
+                                        // Sealed: the coordinator may not
+                                        // emit anything below the watermark
+                                        // after publishing it.
+                                        assert!(op.cycle < wm);
+                                        got[ch].push((op.req.id, op.cycle));
+                                    }
+                                }
+                                if finished && wm == Cycle::MAX {
+                                    let empty = chans
+                                        .clone()
+                                        .all(|ch| shared.chans[ch].ops.lock().is_empty());
+                                    if empty {
+                                        break;
+                                    }
+                                }
+                                std::thread::yield_now();
+                            }
+                            got
+                        })
+                    })
+                    .collect();
+
+                // Producer (this thread): emit in global cycle order,
+                // publishing the watermark every `batch` ops.
+                let mut cycle: Cycle = 0;
+                for (i, &(ch_sel, gap)) in plan.iter().enumerate() {
+                    cycle += gap;
+                    shared.chans[ch_sel as usize % n_chan].push(EnqOp {
+                        cycle,
+                        req: req(i as u64, cycle),
+                        accepted: true,
+                    });
+                    if (i + 1) % batch == 0 {
+                        shared.watermark.store(cycle + 1, Ordering::Release);
+                    }
+                }
+                shared.watermark.store(Cycle::MAX, Ordering::Release);
+                done.store(true, Ordering::Release);
+
+                let mut merged: Vec<Vec<(u64, Cycle)>> = vec![Vec::new(); n_chan];
+                for c in consumers {
+                    for (ch, seq) in c.join().expect("consumer").into_iter().enumerate() {
+                        if !seq.is_empty() {
+                            merged[ch] = seq;
+                        }
+                    }
+                }
+                merged
+            });
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -47,6 +47,12 @@ pub struct SimConfig {
     /// `microbank-faults`). `None` (the default) keeps the golden path
     /// bit-identical to a build without the subsystem.
     pub faults: Option<FaultConfig>,
+    /// Worker threads for channel-sharded execution (see [`crate::shard`]).
+    /// `None` defers to the `MICROBANK_THREADS` environment variable, then
+    /// to 1. Any value ≤ 1 runs the classic single-threaded loop. Results
+    /// are bit-identical for every thread count — sharding only changes
+    /// wall-clock time.
+    pub threads: Option<usize>,
 }
 
 impl SimConfig {
@@ -64,6 +70,7 @@ impl SimConfig {
             ctrl_stride: 2,
             telemetry: None,
             faults: None,
+            threads: None,
         }
     }
 
@@ -93,6 +100,26 @@ impl SimConfig {
     pub fn with_faults(mut self, fc: FaultConfig) -> Self {
         self.faults = Some(fc);
         self
+    }
+
+    /// Pin the worker-thread count for this run (overrides the
+    /// `MICROBANK_THREADS` environment variable).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Resolved worker-thread count: the explicit `threads` field, else the
+    /// `MICROBANK_THREADS` environment variable, else 1 (sequential).
+    pub fn effective_threads(&self) -> usize {
+        self.threads
+            .or_else(|| {
+                std::env::var("MICROBANK_THREADS")
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok())
+                    .filter(|&n: &usize| n > 0)
+            })
+            .unwrap_or(1)
     }
 }
 
@@ -240,7 +267,7 @@ impl SimResult {
 /// out of order (they keep their id across retries), so `base` advances
 /// only past slots whose request has *completed* — an empty slot may still
 /// be claimed later.
-struct EnqueueSlab {
+pub(crate) struct EnqueueSlab {
     base: u64,
     slots: std::collections::VecDeque<Cycle>,
 }
@@ -252,14 +279,14 @@ const SLOT_EMPTY: Cycle = Cycle::MAX;
 const SLOT_CONSUMED: Cycle = Cycle::MAX - 1;
 
 impl EnqueueSlab {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         EnqueueSlab {
             base: 0,
             slots: std::collections::VecDeque::new(),
         }
     }
 
-    fn insert(&mut self, id: u64, at: Cycle) {
+    pub(crate) fn insert(&mut self, id: u64, at: Cycle) {
         debug_assert!(at < SLOT_CONSUMED);
         if self.slots.is_empty() {
             self.base = id;
@@ -275,7 +302,7 @@ impl EnqueueSlab {
     }
 
     /// Consume `id`'s recorded cycle (None if never inserted).
-    fn remove(&mut self, id: u64) -> Option<Cycle> {
+    pub(crate) fn remove(&mut self, id: u64) -> Option<Cycle> {
         let idx = id.checked_sub(self.base)? as usize;
         let slot = self.slots.get_mut(idx)?;
         let out = (*slot < SLOT_CONSUMED).then_some(*slot);
@@ -289,9 +316,9 @@ impl EnqueueSlab {
 }
 
 #[derive(PartialEq, Eq)]
-struct Delivery {
-    at: Cycle,
-    id: u64,
+pub(crate) struct Delivery {
+    pub(crate) at: Cycle,
+    pub(crate) id: u64,
 }
 
 impl Ord for Delivery {
@@ -326,7 +353,7 @@ pub fn run_instrumented(cfg: &SimConfig) -> (SimResult, TelemetryReport) {
 }
 
 /// Field-wise `end - start` over every DRAM counter.
-fn stats_delta(end: &DramStats, start: &DramStats) -> DramStats {
+pub(crate) fn stats_delta(end: &DramStats, start: &DramStats) -> DramStats {
     DramStats {
         activates: end.activates - start.activates,
         precharges: end.precharges - start.precharges,
@@ -343,7 +370,7 @@ fn stats_delta(end: &DramStats, start: &DramStats) -> DramStats {
     }
 }
 
-fn merged_stats(ctrls: &[MemoryController]) -> DramStats {
+pub(crate) fn merged_stats(ctrls: &[MemoryController]) -> DramStats {
     let mut d = DramStats::default();
     for c in ctrls {
         d.merge(&c.channel.stats);
@@ -379,7 +406,6 @@ fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
 
     // Epoch sampler: per-epoch counter deltas plus instantaneous queue
     // depths, sampled every `epoch_cycles` over the whole run.
-    let epoch_cycles = cfg.telemetry.map_or(0, |tc| tc.epoch_cycles);
     let mut timeline = cfg.telemetry.map(|tc| {
         let mut names: Vec<String> = [
             "ipc",
@@ -407,6 +433,175 @@ fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
         let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
         Timeline::new(tc.epoch_cycles, &refs)
     });
+    timer.mark("setup");
+
+    // Dispatch: the classic single-threaded loop, or the channel-sharded
+    // drive (bit-identical by construction; see `crate::shard`). Sharding
+    // requires fills to cross the NoC no faster than the controller
+    // stride (true for every paper config: noc = 8, stride = 2).
+    let threads = cfg.effective_threads();
+    let out = if threads > 1 && cfg.cmp.noc_latency >= cfg.ctrl_stride {
+        let workers = threads.min(cfg.mem.channels).max(1);
+        crate::shard::drive_sharded(
+            cfg,
+            &mut cmp,
+            ctrls,
+            &integrator,
+            &mut timeline,
+            &mut timer,
+            workers,
+        )
+    } else {
+        drive_sequential(cfg, &mut cmp, ctrls, &integrator, &mut timeline, &mut timer)
+    };
+    let DriveOutput {
+        ctrls,
+        committed_at_warmup,
+        per_core_at_warmup,
+        dram_at_warmup,
+        heat_at_warmup,
+        read_latency_acc,
+        read_latency_hist,
+        read_lat_samples,
+    } = out;
+
+    // Gather measurement-window deltas.
+    let committed = cmp.total_committed() - committed_at_warmup;
+    let dram = merged_stats(&ctrls);
+    let delta = stats_delta(&dram, &dram_at_warmup);
+
+    let mem_energy = integrator.integrate(&delta, cfg.measure_cycles);
+    let core_energy_nj =
+        CorePowerModel::default().energy_nj(committed, cfg.measure_cycles, cfg.cmp.cores);
+
+    let policy_hits: (u64, u64) = ctrls.iter().fold((0, 0), |(c, t), ctrl| {
+        (
+            c + ctrl.stats.policy_stats.correct,
+            t + ctrl.stats.policy_stats.predictions,
+        )
+    });
+    let occupancy: f64 = ctrls
+        .iter()
+        .map(|c| c.stats.mean_queue_occupancy())
+        .sum::<f64>()
+        / ctrls.len() as f64;
+
+    let reliability = cfg.faults.as_ref().map(|_| {
+        let mut s = FaultSummary::default();
+        for c in &ctrls {
+            if let Some(eng) = &c.faults {
+                s.merge(&eng.summary);
+            }
+        }
+        s
+    });
+
+    let report = cfg.telemetry.map(|_| {
+        let heat: Vec<HeatCounters> = ctrls
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let tel = c.channel.telemetry.as_ref().expect("telemetry enabled");
+                match heat_at_warmup.get(i) {
+                    Some(earlier) => tel.heat.delta_since(earlier),
+                    None => tel.heat.clone(),
+                }
+            })
+            .collect();
+        let mut trace: Vec<CmdRecord> = Vec::new();
+        let mut trace_pushed = 0u64;
+        let mut trace_dropped = 0u64;
+        for c in &ctrls {
+            if let Some(t) = &c.trace {
+                trace.extend(t.records());
+                trace_pushed += t.total_pushed();
+                trace_dropped += t.dropped();
+            }
+        }
+        trace.sort_by_key(|r| (r.cycle, r.channel));
+        TelemetryReport {
+            timeline: timeline.take().expect("telemetry implies timeline"),
+            heat,
+            trace,
+            trace_pushed,
+            trace_dropped,
+        }
+    });
+
+    let warmup_secs = timer.seconds("warmup");
+    let measure_secs = timer.seconds("measure");
+    let profile = RunProfile {
+        setup_secs: timer.seconds("setup"),
+        warmup_secs,
+        measure_secs,
+        total_secs: timer.total(),
+        sim_mcycles_per_sec: mcycles_per_sec(
+            cfg.warmup_cycles + cfg.measure_cycles,
+            warmup_secs + measure_secs,
+        ),
+    };
+
+    let result = SimResult {
+        label: cfg.workload.label(),
+        cycles: cfg.measure_cycles,
+        committed,
+        ipc: committed as f64 / cfg.measure_cycles as f64,
+        dram: delta,
+        mem_energy,
+        core_energy_nj,
+        mapki: if committed == 0 {
+            0.0
+        } else {
+            1000.0 * delta.columns() as f64 / committed as f64
+        },
+        row_hit_rate: delta.row_hit_rate(),
+        policy_hit_rate: if policy_hits.1 == 0 {
+            0.0
+        } else {
+            policy_hits.0 as f64 / policy_hits.1 as f64
+        },
+        mean_queue_occupancy: occupancy,
+        mean_read_latency: if read_lat_samples == 0 {
+            0.0
+        } else {
+            read_latency_acc as f64 / read_lat_samples as f64
+        },
+        read_latency_hist,
+        per_core_committed: (0..cfg.cmp.cores)
+            .map(|i| cmp.core(i).stats.committed - per_core_at_warmup[i])
+            .collect(),
+        profile,
+        reliability,
+    };
+    (result, report)
+}
+
+/// Everything a drive loop (sequential or sharded) produces beyond the
+/// mutations it leaves in `cmp`, the returned controllers, and the epoch
+/// timeline: warmup-boundary snapshots and read-latency accounting.
+pub(crate) struct DriveOutput {
+    pub(crate) ctrls: Vec<MemoryController>,
+    pub(crate) committed_at_warmup: u64,
+    pub(crate) per_core_at_warmup: Vec<u64>,
+    pub(crate) dram_at_warmup: DramStats,
+    pub(crate) heat_at_warmup: Vec<HeatCounters>,
+    pub(crate) read_latency_acc: u64,
+    pub(crate) read_latency_hist: microbank_core::hist::Histogram,
+    pub(crate) read_lat_samples: u64,
+}
+
+/// The classic single-threaded cycle loop. The sharded drive
+/// (`crate::shard`) reproduces this loop's observable behavior
+/// bit-for-bit; any change here needs a matching change there.
+fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
+    cfg: &SimConfig,
+    cmp: &mut CmpSystem<S>,
+    mut ctrls: Vec<MemoryController>,
+    integrator: &PowerIntegrator,
+    timeline: &mut Option<Timeline>,
+    timer: &mut PhaseTimer,
+) -> DriveOutput {
+    let epoch_cycles = cfg.telemetry.map_or(0, |tc| tc.epoch_cycles);
     let mut epoch_stats = DramStats::default();
     let mut epoch_committed = 0u64;
 
@@ -434,7 +629,6 @@ fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
     let mut ctrl_wake: Vec<Cycle> = vec![0; ctrls.len()];
     let mut ctrl_skipped: Vec<u64> = vec![0; ctrls.len()];
 
-    timer.mark("setup");
     for now in 0..total {
         if now == cfg.warmup_cycles {
             timer.mark("warmup");
@@ -563,112 +757,16 @@ fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
         c.account_idle_ticks(n);
     }
 
-    // Gather measurement-window deltas.
-    let committed = cmp.total_committed() - committed_at_warmup;
-    let dram = merged_stats(&ctrls);
-    let delta = stats_delta(&dram, &dram_at_warmup);
-
-    let mem_energy = integrator.integrate(&delta, cfg.measure_cycles);
-    let core_energy_nj =
-        CorePowerModel::default().energy_nj(committed, cfg.measure_cycles, cfg.cmp.cores);
-
-    let policy_hits: (u64, u64) = ctrls.iter().fold((0, 0), |(c, t), ctrl| {
-        (
-            c + ctrl.stats.policy_stats.correct,
-            t + ctrl.stats.policy_stats.predictions,
-        )
-    });
-    let occupancy: f64 = ctrls
-        .iter()
-        .map(|c| c.stats.mean_queue_occupancy())
-        .sum::<f64>()
-        / ctrls.len() as f64;
-
-    let reliability = cfg.faults.as_ref().map(|_| {
-        let mut s = FaultSummary::default();
-        for c in &ctrls {
-            if let Some(eng) = &c.faults {
-                s.merge(&eng.summary);
-            }
-        }
-        s
-    });
-
-    let report = cfg.telemetry.map(|_| {
-        let heat: Vec<HeatCounters> = ctrls
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                let tel = c.channel.telemetry.as_ref().expect("telemetry enabled");
-                match heat_at_warmup.get(i) {
-                    Some(earlier) => tel.heat.delta_since(earlier),
-                    None => tel.heat.clone(),
-                }
-            })
-            .collect();
-        let mut trace: Vec<CmdRecord> = Vec::new();
-        let mut trace_pushed = 0u64;
-        let mut trace_dropped = 0u64;
-        for c in &ctrls {
-            if let Some(t) = &c.trace {
-                trace.extend(t.records());
-                trace_pushed += t.total_pushed();
-                trace_dropped += t.dropped();
-            }
-        }
-        trace.sort_by_key(|r| (r.cycle, r.channel));
-        TelemetryReport {
-            timeline: timeline.take().expect("telemetry implies timeline"),
-            heat,
-            trace,
-            trace_pushed,
-            trace_dropped,
-        }
-    });
-
-    let warmup_secs = timer.seconds("warmup");
-    let measure_secs = timer.seconds("measure");
-    let profile = RunProfile {
-        setup_secs: timer.seconds("setup"),
-        warmup_secs,
-        measure_secs,
-        total_secs: timer.total(),
-        sim_mcycles_per_sec: mcycles_per_sec(total, warmup_secs + measure_secs),
-    };
-
-    let result = SimResult {
-        label: cfg.workload.label(),
-        cycles: cfg.measure_cycles,
-        committed,
-        ipc: committed as f64 / cfg.measure_cycles as f64,
-        dram: delta,
-        mem_energy,
-        core_energy_nj,
-        mapki: if committed == 0 {
-            0.0
-        } else {
-            1000.0 * delta.columns() as f64 / committed as f64
-        },
-        row_hit_rate: delta.row_hit_rate(),
-        policy_hit_rate: if policy_hits.1 == 0 {
-            0.0
-        } else {
-            policy_hits.0 as f64 / policy_hits.1 as f64
-        },
-        mean_queue_occupancy: occupancy,
-        mean_read_latency: if read_lat_samples == 0 {
-            0.0
-        } else {
-            read_latency_acc as f64 / read_lat_samples as f64
-        },
+    DriveOutput {
+        ctrls,
+        committed_at_warmup,
+        per_core_at_warmup,
+        dram_at_warmup,
+        heat_at_warmup,
+        read_latency_acc,
         read_latency_hist,
-        per_core_committed: (0..cfg.cmp.cores)
-            .map(|i| cmp.core(i).stats.committed - per_core_at_warmup[i])
-            .collect(),
-        profile,
-        reliability,
-    };
-    (result, report)
+        read_lat_samples,
+    }
 }
 
 /// Compact behavior fingerprint for the golden determinism suite:
@@ -732,22 +830,60 @@ impl MemPort for TrackingRouter<'_> {
     }
 }
 
-/// Run many configurations in parallel (one OS thread per hardware thread).
-pub fn run_many(cfgs: &[SimConfig]) -> Vec<SimResult> {
-    let parallelism = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
-    let mut results: Vec<Option<SimResult>> = vec![None; cfgs.len()];
+/// Thread budget for a configuration sweep: the `MICROBANK_THREADS`
+/// environment variable when set (and positive), else the machine's
+/// available parallelism, else 4.
+fn sweep_threads() -> usize {
+    std::env::var("MICROBANK_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        })
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "run panicked".to_string()
+    }
+}
+
+/// Run many configurations concurrently, one `Result` slot per config. A
+/// run that panics reports `Err(panic message)` in its slot instead of
+/// tearing down the whole sweep — the surviving slots still come back.
+///
+/// The thread budget ([`sweep_threads`]) is split between sweep-level
+/// concurrency and per-run channel sharding: configs with `threads: None`
+/// get the cores the sweep leaves idle (a 2-config study on a 16-way
+/// machine shards each simulation 8 ways). Explicit `threads` settings
+/// are honored untouched.
+pub fn run_many_checked(cfgs: &[SimConfig]) -> Vec<Result<SimResult, String>> {
+    let budget = sweep_threads();
+    let sweep = budget.min(cfgs.len().max(1));
+    let per_run = (budget / sweep).max(1);
+    let mut results: Vec<Option<Result<SimResult, String>>> = vec![None; cfgs.len()];
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results_mx = parking_lot::Mutex::new(&mut results);
     std::thread::scope(|s| {
-        for _ in 0..parallelism.min(cfgs.len().max(1)) {
+        for _ in 0..sweep {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= cfgs.len() {
                     break;
                 }
-                let r = run(&cfgs[i]);
+                let mut cfg = cfgs[i].clone();
+                if cfg.threads.is_none() {
+                    cfg.threads = Some(per_run);
+                }
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&cfg)))
+                    .map_err(panic_message);
                 results_mx.lock()[i] = Some(r);
             });
         }
@@ -756,6 +892,30 @@ pub fn run_many(cfgs: &[SimConfig]) -> Vec<SimResult> {
         .into_iter()
         .map(|r| r.expect("worker completed"))
         .collect()
+}
+
+/// Run many configurations in parallel and unwrap the results, panicking
+/// with a per-slot summary if any run failed (see [`run_many_checked`]
+/// for the error-tolerant variant).
+pub fn run_many(cfgs: &[SimConfig]) -> Vec<SimResult> {
+    let results = run_many_checked(cfgs);
+    let failed: Vec<String> = results
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| {
+            r.as_ref()
+                .err()
+                .map(|e| format!("#{i} ({}): {e}", cfgs[i].workload.label()))
+        })
+        .collect();
+    assert!(
+        failed.is_empty(),
+        "{} of {} runs failed:\n  {}",
+        failed.len(),
+        results.len(),
+        failed.join("\n  ")
+    );
+    results.into_iter().map(|r| r.unwrap()).collect()
 }
 
 #[cfg(test)]

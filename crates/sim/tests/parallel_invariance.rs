@@ -1,0 +1,218 @@
+//! Worker-count invariance suite: the channel-sharded drive
+//! (`microbank_sim::shard`) must be *bit-identical* to the sequential
+//! loop for every worker count — the golden fingerprints, the telemetry
+//! epoch series, the per-μbank heat maps, the command trace, and the
+//! reliability counters are all compared byte for byte between runs at
+//! 1, 2, and max (= channel count) workers. Sharding is allowed to change
+//! wall-clock time and nothing else.
+
+use microbank_ctrl::policy::PolicyKind;
+use microbank_ctrl::predictor::PredictorKind;
+use microbank_ctrl::scheduler::SchedulerKind;
+use microbank_faults::FaultConfig;
+use microbank_sim::simulator::{
+    golden_fingerprint, run, run_instrumented, run_many_checked, SimConfig,
+};
+use microbank_telemetry::TelemetryConfig;
+use microbank_workloads::suite::Workload;
+
+/// The golden suite's configuration grid (kept in sync with
+/// `integration_golden.rs`): {μbank partition} × {scheduler} × {policy}.
+fn golden_grid() -> Vec<SimConfig> {
+    let mut out = Vec::new();
+    for &(nw, nb) in &[(1, 1), (8, 8)] {
+        for sched in [
+            SchedulerKind::FrFcfs,
+            SchedulerKind::ParBs { marking_cap: 5 },
+        ] {
+            for policy in [
+                PolicyKind::Open,
+                PolicyKind::Close,
+                PolicyKind::Predictive(PredictorKind::Local),
+            ] {
+                let mut cfg = SimConfig::spec_single_channel(Workload::Spec("429.mcf")).quick();
+                cfg.mem = cfg.mem.with_ubanks(nw, nb);
+                cfg.warmup_cycles = 10_000;
+                cfg.measure_cycles = 30_000;
+                cfg.scheduler = sched;
+                cfg.policy = policy;
+                out.push(cfg);
+            }
+        }
+    }
+    assert_eq!(out.len(), 12);
+    out
+}
+
+/// A short multi-channel run — the configuration class where sharding
+/// actually distributes work (16 channels at the paper default).
+fn multi_channel_cfg() -> SimConfig {
+    let mut cfg = SimConfig::paper_default(Workload::MixHigh);
+    cfg.warmup_cycles = 5_000;
+    cfg.measure_cycles = 15_000;
+    cfg
+}
+
+/// Full-result equality beyond the fingerprint: every simulated-behavior
+/// field must match bit for bit (profile timings excluded — they are wall
+/// clock by definition).
+fn assert_results_identical(a: &microbank_sim::SimResult, b: &microbank_sim::SimResult, tag: &str) {
+    assert_eq!(
+        golden_fingerprint(a),
+        golden_fingerprint(b),
+        "{tag}: fingerprint diverged"
+    );
+    assert_eq!(a.dram, b.dram, "{tag}: DRAM counter delta diverged");
+    assert_eq!(
+        a.per_core_committed, b.per_core_committed,
+        "{tag}: per-core committed diverged"
+    );
+    assert_eq!(
+        a.mean_read_latency.to_bits(),
+        b.mean_read_latency.to_bits(),
+        "{tag}: mean read latency diverged"
+    );
+    assert_eq!(
+        a.mean_queue_occupancy.to_bits(),
+        b.mean_queue_occupancy.to_bits(),
+        "{tag}: queue occupancy diverged"
+    );
+    assert_eq!(
+        a.policy_hit_rate.to_bits(),
+        b.policy_hit_rate.to_bits(),
+        "{tag}: policy hit rate diverged"
+    );
+    assert_eq!(
+        a.read_latency_hist, b.read_latency_hist,
+        "{tag}: latency histogram diverged"
+    );
+    assert_eq!(a.reliability, b.reliability, "{tag}: reliability diverged");
+}
+
+/// All 12 golden configurations, sequential vs. sharded. These are
+/// single-channel, so the sharded run collapses to one worker — the test
+/// pins down that the coordinator/worker machinery itself (mailboxes,
+/// watermark pipeline, occupancy mirror, snapshot replay) is
+/// behavior-neutral even in the degenerate partition.
+#[test]
+fn golden_configs_are_invariant_under_sharding() {
+    for cfg in golden_grid() {
+        let seq = run(&cfg.clone().with_threads(1));
+        let shard = run(&cfg.clone().with_threads(2));
+        assert_results_identical(
+            &seq,
+            &shard,
+            &format!("{:?}/{:?}/{:?}", cfg.mem.ubank, cfg.scheduler, cfg.policy),
+        );
+    }
+}
+
+/// The real parallel case: 16 channels sharded over 1, 2, and 16 (= max)
+/// workers must agree with the sequential loop on every reported value.
+#[test]
+fn multi_channel_runs_are_worker_count_invariant() {
+    let cfg = multi_channel_cfg();
+    let channels = cfg.mem.channels;
+    assert!(channels > 1, "test requires a multi-channel config");
+    let seq = run(&cfg.clone().with_threads(1));
+    for workers in [2, channels] {
+        let shard = run(&cfg.clone().with_threads(workers));
+        assert_results_identical(&seq, &shard, &format!("{workers} workers"));
+    }
+}
+
+/// Telemetry merge invariance: the epoch time-series CSV, the per-channel
+/// heat-map CSVs, and the command trace must be byte-identical across
+/// worker counts — cross-shard merging may not change a single reported
+/// value.
+#[test]
+fn telemetry_artifacts_are_worker_count_invariant() {
+    let cfg = multi_channel_cfg().with_telemetry(TelemetryConfig::new(2_500, 4_096));
+    let (r1, t1) = run_instrumented(&cfg.clone().with_threads(1));
+    for workers in [2, cfg.mem.channels] {
+        let (rn, tn) = run_instrumented(&cfg.clone().with_threads(workers));
+        assert_results_identical(&r1, &rn, &format!("instrumented, {workers} workers"));
+        assert_eq!(
+            t1.timeline.to_csv(),
+            tn.timeline.to_csv(),
+            "{workers} workers: epoch time-series diverged"
+        );
+        assert_eq!(t1.heat.len(), tn.heat.len());
+        for (ch, (a, b)) in t1.heat.iter().zip(&tn.heat).enumerate() {
+            assert_eq!(
+                a.to_csv(),
+                b.to_csv(),
+                "{workers} workers: channel {ch} heat map diverged"
+            );
+        }
+        assert_eq!(
+            t1.trace, tn.trace,
+            "{workers} workers: command trace diverged"
+        );
+        assert_eq!(t1.trace_pushed, tn.trace_pushed);
+        assert_eq!(t1.trace_dropped, tn.trace_dropped);
+    }
+}
+
+/// Reliability counters merge invariance under fault injection: same
+/// fingerprint AND same `FaultSummary` at every worker count. Fault
+/// sampling is per-channel-seeded, so channel ownership moving between
+/// threads must not perturb it.
+#[test]
+fn reliability_counters_are_worker_count_invariant() {
+    let cfg = multi_channel_cfg().with_faults(FaultConfig::stress(0xFA_017));
+    let seq = run(&cfg.clone().with_threads(1));
+    let s = seq.reliability.expect("faults armed");
+    assert!(
+        s.corrected + s.detected > 0,
+        "stress config injected no observable errors"
+    );
+    for workers in [2, cfg.mem.channels] {
+        let shard = run(&cfg.clone().with_threads(workers));
+        assert_results_identical(&seq, &shard, &format!("faulted, {workers} workers"));
+    }
+}
+
+/// Sharding and telemetry compose with the quick golden partition grid:
+/// an instrumented single-channel run through the sharded path matches
+/// the sequential artifacts exactly.
+#[test]
+fn single_channel_telemetry_survives_sharded_path() {
+    let mut cfg = SimConfig::spec_single_channel(Workload::Spec("429.mcf")).quick();
+    cfg.mem = cfg.mem.with_ubanks(8, 8);
+    cfg.warmup_cycles = 10_000;
+    cfg.measure_cycles = 30_000;
+    let cfg = cfg.with_telemetry(TelemetryConfig::new(5_000, 1_024));
+    let (r1, t1) = run_instrumented(&cfg.clone().with_threads(1));
+    let (r2, t2) = run_instrumented(&cfg.clone().with_threads(4));
+    assert_results_identical(&r1, &r2, "single-channel instrumented");
+    assert_eq!(t1.timeline.to_csv(), t2.timeline.to_csv());
+    assert_eq!(t1.heat[0].to_csv(), t2.heat[0].to_csv());
+    assert_eq!(t1.trace, t2.trace);
+}
+
+/// The hardened sweep runner: a panicking configuration reports an `Err`
+/// in its own slot while the surviving runs still come back.
+#[test]
+fn run_many_checked_captures_per_slot_panics() {
+    let good = SimConfig::spec_single_channel(Workload::Spec("429.mcf")).quick();
+    let bad = SimConfig::spec_single_channel(Workload::Spec("no.such.app")).quick();
+    let results = run_many_checked(&[good, bad]);
+    assert_eq!(results.len(), 2);
+    assert!(results[0].is_ok(), "healthy run must survive the sweep");
+    let err = results[1].as_ref().expect_err("unknown app must panic");
+    assert!(
+        err.contains("unknown SPEC app"),
+        "panic message should be preserved, got: {err}"
+    );
+}
+
+/// Thread-count resolution precedence: an explicit `threads` setting wins;
+/// the unset default is sequential (the environment override is covered by
+/// the CI job that runs this whole suite under `MICROBANK_THREADS=2`).
+#[test]
+fn explicit_thread_setting_wins() {
+    let cfg = SimConfig::paper_default(Workload::MixHigh);
+    assert_eq!(cfg.clone().with_threads(3).effective_threads(), 3);
+    assert!(cfg.effective_threads() >= 1);
+}

@@ -53,23 +53,25 @@ impl HeatCounters {
     }
 
     /// Accumulate another channel's counters (element-wise; shapes must
-    /// match — i.e. both channels share one `MemConfig`).
+    /// match — i.e. both channels share one `MemConfig`). Saturating, so a
+    /// cross-shard merge of counters near `u64::MAX` pins at the ceiling
+    /// instead of wrapping (the same contract as `Histogram::merge`).
     pub fn merge(&mut self, other: &HeatCounters) {
         assert_eq!(self.num_ubanks(), other.num_ubanks(), "heat shape mismatch");
         for (a, b) in self.activates.iter_mut().zip(&other.activates) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
         for (a, b) in self.row_hits.iter_mut().zip(&other.row_hits) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
         for (a, b) in self.row_conflicts.iter_mut().zip(&other.row_conflicts) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
         for (a, b) in self.row_closed.iter_mut().zip(&other.row_closed) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
         for (a, b) in self.corrected.iter_mut().zip(&other.corrected) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
     }
 
@@ -259,6 +261,20 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.row_hits[1], 12);
         assert_eq!(a.total_conflicts(), 3);
+    }
+
+    #[test]
+    fn merge_saturates_at_ceiling() {
+        let mut a = HeatCounters::new(4, 2, 2);
+        let mut b = HeatCounters::new(4, 2, 2);
+        a.activates[0] = u64::MAX - 2;
+        b.activates[0] = 100;
+        a.corrected[3] = 5;
+        b.corrected[3] = u64::MAX;
+        a.merge(&b);
+        assert_eq!(a.activates[0], u64::MAX);
+        assert_eq!(a.corrected[3], u64::MAX);
+        assert_eq!(a.activates[1], 0);
     }
 
     #[test]
