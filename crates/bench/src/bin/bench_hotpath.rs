@@ -116,10 +116,10 @@ fn main() {
     }
 
     let json = to_json(&points, reps);
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        let _ = std::fs::create_dir_all(dir);
+    if let Err(e) = microbank_telemetry::atomic_write(&out, &json) {
+        eprintln!("bench_hotpath: failed to write {out}: {e}");
+        std::process::exit(1);
     }
-    std::fs::write(&out, &json).expect("write bench artifact");
     println!("wrote {out}");
 
     if let Some(baseline) = flag("--check") {

@@ -261,9 +261,14 @@ fn main() {
     }
 
     print!("{text}");
-    std::fs::write(out.join("reliability.txt"), &text).expect("write text artifact");
-    std::fs::write(out.join("reliability.json"), to_json(&baselines, &points))
-        .expect("write json artifact");
+    let write = |name: &str, bytes: &[u8]| {
+        if let Err(e) = microbank_telemetry::atomic_write(out.join(name), bytes) {
+            eprintln!("reliability: failed to write {name}: {e}");
+            std::process::exit(1);
+        }
+    };
+    write("reliability.txt", text.as_bytes());
+    write("reliability.json", to_json(&baselines, &points).as_bytes());
     println!("artifacts written to {}", out.display());
     if !gate_ok {
         eprintln!("FAIL: blast-radius ordering violated (see table above)");

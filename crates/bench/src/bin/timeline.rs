@@ -12,12 +12,18 @@
 //! Usage: `timeline [--quick] [--out DIR]`
 
 use microbank_sim::simulator::{run_instrumented, SimConfig};
-use microbank_telemetry::{trace, TelemetryConfig};
+use microbank_telemetry::{atomic_write, trace, TelemetryConfig};
 use microbank_workloads::suite::Workload;
-use std::fs;
 use std::path::PathBuf;
 
 fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("timeline: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> std::io::Result<()> {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let out: PathBuf = args
@@ -26,7 +32,6 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"));
-    fs::create_dir_all(&out).expect("create output dir");
 
     let cases = [("1x1", 1, 1), ("4x4", 4, 4)];
     for (tag, n_w, n_b) in cases {
@@ -59,19 +64,17 @@ fn main() {
             "trace round-trip lost records"
         );
 
-        fs::write(
+        atomic_write(
             out.join(format!("timeline_{tag}.csv")),
             rep.timeline.to_csv(),
-        )
-        .unwrap();
-        fs::write(
+        )?;
+        atomic_write(
             out.join(format!("timeline_{tag}.json")),
             rep.timeline.to_json(),
-        )
-        .unwrap();
-        fs::write(out.join(format!("heat_{tag}.csv")), heat.to_csv()).unwrap();
-        fs::write(out.join(format!("heat_{tag}.json")), heat.to_json()).unwrap();
-        fs::write(out.join(format!("trace_{tag}.json")), &trace_json).unwrap();
+        )?;
+        atomic_write(out.join(format!("heat_{tag}.csv")), heat.to_csv())?;
+        atomic_write(out.join(format!("heat_{tag}.json")), heat.to_json())?;
+        atomic_write(out.join(format!("trace_{tag}.json")), &trace_json)?;
 
         println!(
             "429.mcf ({n_w},{n_b})  ipc {:.3}  row-hit {:.2}",
@@ -99,4 +102,5 @@ fn main() {
         );
     }
     println!("\nartifacts written to {}", out.display());
+    Ok(())
 }

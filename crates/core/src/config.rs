@@ -4,6 +4,7 @@
 
 use crate::geometry::{DeviceGeometry, UbankConfig};
 use crate::timing::{TimingParams, Timings};
+use crate::validate::{Checker, ConfigError};
 use crate::CACHE_LINE_BITS;
 use serde::{Deserialize, Serialize};
 
@@ -188,6 +189,105 @@ impl MemConfig {
         assert!(q > 0);
         self.queue_size = q;
         self
+    }
+
+    /// Check every structural invariant the device model, address mapper,
+    /// and controller assume, reporting *all* violations at once.
+    ///
+    /// The builders (`with_ubanks`, `with_channels`, …) assert the same
+    /// constraints eagerly; this method exists for configurations assembled
+    /// field-by-field (sweep generators, fuzzers, deserialized configs),
+    /// where a structured diagnostic beats an index panic three crates down.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let mut c = Checker::new();
+        let pow2 = |c: &mut Checker, name: &str, v: usize| -> bool {
+            c.check(v.is_power_of_two(), || {
+                format!("{name} = {v}: must be a power of two >= 1 (address bits are sliced)")
+            })
+        };
+        pow2(&mut c, "channels", self.channels);
+        pow2(&mut c, "ranks_per_channel", self.ranks_per_channel);
+        pow2(&mut c, "banks_per_rank", self.banks_per_rank);
+        let ub_ok = c.check(
+            self.ubank.n_w.is_power_of_two() && self.ubank.n_w <= 16,
+            || {
+                format!(
+                    "ubank.n_w = {}: must be a power of two in 1..=16",
+                    self.ubank.n_w
+                )
+            },
+        ) & c.check(
+            self.ubank.n_b.is_power_of_two() && self.ubank.n_b <= 16,
+            || {
+                format!(
+                    "ubank.n_b = {}: must be a power of two in 1..=16",
+                    self.ubank.n_b
+                )
+            },
+        );
+        c.check(self.queue_size >= 1, || {
+            format!(
+                "queue_size = {}: the controller needs at least one queue slot",
+                self.queue_size
+            )
+        });
+
+        let g = &self.geometry;
+        let geom_ok = c.check(g.banks_per_die >= 1 && g.channels_per_die >= 1, || {
+            format!(
+                "geometry: banks_per_die = {}, channels_per_die = {}: both must be >= 1",
+                g.banks_per_die, g.channels_per_die
+            )
+        }) & c.check(
+            g.row_bytes >= crate::CACHE_LINE_BYTES as usize && g.row_bytes.is_power_of_two(),
+            || {
+                format!(
+                    "geometry.row_bytes = {}: must be a power of two >= the 64 B cache line",
+                    g.row_bytes
+                )
+            },
+        ) & c.check(g.die_bits > 0, || {
+            format!("geometry.die_bits = {}: empty die", g.die_bits)
+        });
+
+        if ub_ok && geom_ok {
+            // Derived quantities are only computable once the raw fields are
+            // sane (ubank_cols divides by n_w, rows_per_bank by row_bytes).
+            c.check(
+                self.ubank_cols() >= 1 && self.ubank_cols().is_power_of_two(),
+                || {
+                    format!(
+                        "ubank columns = {} (row of {} B split {} ways): must stay a power of \
+                     two >= 1 cache line",
+                        self.ubank_cols(),
+                        g.row_bytes,
+                        self.ubank.n_w
+                    )
+                },
+            );
+            c.check(
+                self.ubank_rows() >= 1 && self.ubank_rows().is_power_of_two(),
+                || {
+                    format!(
+                        "ubank rows = {} ({} rows split {} ways): must stay a power of two >= 1",
+                        self.ubank_rows(),
+                        g.rows_per_bank(),
+                        self.ubank.n_b
+                    )
+                },
+            );
+            c.check(self.interleave_base <= self.max_interleave_base(), || {
+                format!(
+                    "interleave_base = {}: exceeds the row-granularity ceiling {} for this \
+                     partition (the address mapper would clamp it)",
+                    self.interleave_base,
+                    self.max_interleave_base()
+                )
+            });
+        }
+
+        self.timing.validate_into(&mut c);
+        c.finish("MemConfig")
     }
 
     /// Integer CPU-cycle timings for this configuration.

@@ -60,6 +60,7 @@ pub mod organization;
 pub mod request;
 pub mod stats;
 pub mod timing;
+pub mod validate;
 
 /// One simulated CPU clock tick. The whole simulator runs in a single clock
 /// domain: CPU cycles at 2 GHz (0.5 ns per cycle), per the paper's §VI-A
@@ -90,6 +91,7 @@ pub mod prelude {
     pub use crate::request::{MemRequest, ReqKind};
     pub use crate::stats::DramStats;
     pub use crate::timing::{TimingParams, Timings};
+    pub use crate::validate::ConfigError;
     pub use crate::{Cycle, CACHE_LINE_BITS, CACHE_LINE_BYTES, CYCLES_PER_NS};
 }
 

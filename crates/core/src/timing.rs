@@ -113,6 +113,58 @@ impl TimingParams {
         self.t_ras_ns + self.t_rp_ns
     }
 
+    /// Every nanosecond parameter paired with its name, for validation and
+    /// reporting.
+    pub fn named_fields(&self) -> [(&'static str, f64); 16] {
+        [
+            ("t_rcd_ns", self.t_rcd_ns),
+            ("t_rp_ns", self.t_rp_ns),
+            ("t_ras_ns", self.t_ras_ns),
+            ("t_aa_ns", self.t_aa_ns),
+            ("t_burst_ns", self.t_burst_ns),
+            ("t_ccd_ns", self.t_ccd_ns),
+            ("t_rrd_ns", self.t_rrd_ns),
+            ("t_faw_ns", self.t_faw_ns),
+            ("t_wr_ns", self.t_wr_ns),
+            ("t_wtr_ns", self.t_wtr_ns),
+            ("t_rtp_ns", self.t_rtp_ns),
+            ("t_cwl_ns", self.t_cwl_ns),
+            ("t_xp_ns", self.t_xp_ns),
+            ("t_refi_ns", self.t_refi_ns),
+            ("t_rfc_ns", self.t_rfc_ns),
+            ("t_cmd_ns", self.t_cmd_ns),
+        ]
+    }
+
+    /// Accumulate timing-legality diagnostics: every interval must be a
+    /// finite positive number (the cycle conversion and the FSMs assume
+    /// it), and the composite constraints a real device guarantees must
+    /// hold (tRAS covers tRCD; a refresh must fit in its interval).
+    pub fn validate_into(&self, c: &mut crate::validate::Checker) {
+        let mut all_finite = true;
+        for (name, v) in self.named_fields() {
+            all_finite &= c.check(v.is_finite() && v > 0.0, || {
+                format!("timing.{name} = {v}: every timing interval must be finite and > 0 ns")
+            });
+        }
+        if all_finite {
+            c.check(self.t_ras_ns >= self.t_rcd_ns, || {
+                format!(
+                    "timing: tRAS ({} ns) < tRCD ({} ns): a row cannot close before its \
+                     activate has completed",
+                    self.t_ras_ns, self.t_rcd_ns
+                )
+            });
+            c.check(self.t_refi_ns > self.t_rfc_ns, || {
+                format!(
+                    "timing: tREFI ({} ns) <= tRFC ({} ns): refresh would consume the \
+                     entire channel",
+                    self.t_refi_ns, self.t_rfc_ns
+                )
+            });
+        }
+    }
+
     /// Convert to integer CPU-cycle timings (rounding every interval up, the
     /// conservative direction a real controller must take).
     pub fn to_cycles(&self) -> Timings {

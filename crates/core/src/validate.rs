@@ -1,0 +1,111 @@
+//! Configuration validation: structured diagnostics instead of panics.
+//!
+//! The crates in this workspace historically enforced configuration
+//! legality with `assert!` in constructors (and, transitively, with
+//! index/divide panics deep inside the device model). That is the right
+//! behavior for code paths a caller has already promised are legal, but a
+//! sweep harness wants to reject an ill-formed [`crate::config::MemConfig`]
+//! *before* spending cycles on it — and report every problem at once, not
+//! just the first assert tripped.
+//!
+//! [`ConfigError`] carries the component that rejected the configuration
+//! plus the full list of human-readable diagnostics. The `validate()`
+//! methods on `MemConfig` (here), `CmpConfig` (`microbank-cpu`) and
+//! `SimConfig` (`microbank-sim`) all speak this type; `microbank-sim`
+//! aggregates them into its `SimError::InvalidConfig`.
+
+use std::fmt;
+
+/// A rejected configuration: which component rejected it and why.
+///
+/// `diagnostics` is never empty for an error produced by a `validate()`
+/// method — an empty list would claim rejection without a reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The configuration struct that failed (`"MemConfig"`, `"CmpConfig"`,
+    /// `"SimConfig"`).
+    pub component: &'static str,
+    /// One entry per independent problem found.
+    pub diagnostics: Vec<String>,
+}
+
+impl ConfigError {
+    pub fn new(component: &'static str, diagnostics: Vec<String>) -> Self {
+        debug_assert!(!diagnostics.is_empty(), "ConfigError without diagnostics");
+        ConfigError {
+            component,
+            diagnostics,
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} invalid:", self.component)?;
+        for d in &self.diagnostics {
+            write!(f, "\n  - {d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Diagnostic accumulator used by the `validate()` implementations: collect
+/// every failed check, then convert to `Result` in one step.
+#[derive(Debug, Default)]
+pub struct Checker {
+    diagnostics: Vec<String>,
+}
+
+impl Checker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `diagnostic` when `ok` is false. Returns `ok` so callers can
+    /// gate dependent checks (e.g. skip a derived-quantity check whose
+    /// computation would itself divide by zero).
+    pub fn check(&mut self, ok: bool, diagnostic: impl FnOnce() -> String) -> bool {
+        if !ok {
+            self.diagnostics.push(diagnostic());
+        }
+        ok
+    }
+
+    pub fn is_ok(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    pub fn finish(self, component: &'static str) -> Result<(), ConfigError> {
+        if self.diagnostics.is_empty() {
+            Ok(())
+        } else {
+            Err(ConfigError::new(component, self.diagnostics))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checker_accumulates_only_failures() {
+        let mut c = Checker::new();
+        assert!(c.check(true, || unreachable!()));
+        assert!(!c.check(false, || "first".to_string()));
+        assert!(!c.check(false, || "second".to_string()));
+        let err = c.finish("MemConfig").unwrap_err();
+        assert_eq!(err.component, "MemConfig");
+        assert_eq!(err.diagnostics, vec!["first", "second"]);
+        let shown = err.to_string();
+        assert!(shown.contains("MemConfig invalid:"));
+        assert!(shown.contains("- first") && shown.contains("- second"));
+    }
+
+    #[test]
+    fn empty_checker_is_ok() {
+        assert!(Checker::new().finish("MemConfig").is_ok());
+    }
+}

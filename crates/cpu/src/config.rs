@@ -1,5 +1,6 @@
 //! CMP configuration (paper §VI-A).
 
+use microbank_core::validate::{Checker, ConfigError};
 use serde::{Deserialize, Serialize};
 
 /// Chip-multiprocessor parameters. Defaults reproduce the paper's platform.
@@ -79,6 +80,50 @@ impl CmpConfig {
 
     pub fn clusters(&self) -> usize {
         self.cores.div_ceil(self.cores_per_cluster)
+    }
+
+    /// Check the invariants the core/cache/coherence models assume,
+    /// reporting every violation at once. Mirrors the `assert!`s in
+    /// `Cache::new` (set geometry) plus the divide-by-zero hazards in the
+    /// cluster math, so a sweep can reject a bad platform before
+    /// construction panics.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let mut c = Checker::new();
+        let ge1 = |c: &mut Checker, name: &str, v: usize| {
+            c.check(v >= 1, || format!("{name} = {v}: must be >= 1"));
+        };
+        ge1(&mut c, "cores", self.cores);
+        ge1(&mut c, "cores_per_cluster", self.cores_per_cluster);
+        ge1(&mut c, "issue_width", self.issue_width);
+        ge1(&mut c, "rob_entries", self.rob_entries);
+        ge1(&mut c, "mshrs_per_core", self.mshrs_per_core);
+        c.check(self.alu_latency >= 1, || {
+            format!("alu_latency = {}: must be >= 1 cycle", self.alu_latency)
+        });
+        let mut cache = |name: &str, bytes: usize, assoc: usize| {
+            let line = microbank_core::CACHE_LINE_BYTES as usize;
+            if !c.check(assoc >= 1, || {
+                format!("{name}_assoc = {assoc}: must be >= 1")
+            }) {
+                return;
+            }
+            let lines = bytes / line;
+            c.check(
+                bytes.is_multiple_of(line)
+                    && lines >= assoc
+                    && lines.is_multiple_of(assoc)
+                    && (lines / assoc).is_power_of_two(),
+                || {
+                    format!(
+                        "{name}: {bytes} B / {assoc}-way: capacity must be a multiple of \
+                         assoc x 64 B with a power-of-two set count"
+                    )
+                },
+            );
+        };
+        cache("l1", self.l1_bytes, self.l1_assoc);
+        cache("l2", self.l2_bytes, self.l2_assoc);
+        c.finish("CmpConfig")
     }
 
     /// Round-trip latency from a core to main memory excluding DRAM time:

@@ -11,16 +11,27 @@
 //! * [`experiment`] — one driver per paper figure (Fig. 8–14 and the §I
 //!   headline numbers), returning structured rows for the harness
 //!   binaries in `microbank-bench`.
+//! * [`error`] — the typed failure vocabulary ([`error::SimError`]) of the
+//!   fallible entry points; see DESIGN.md §5d.
+//! * [`sweep`] — crash-safe resumable sweep execution with per-slot
+//!   isolation and an atomic on-disk manifest.
 
+pub mod error;
 pub mod experiment;
 pub mod report;
 pub mod shard;
 pub mod simulator;
+pub mod sweep;
 
+pub use error::{ShardDiagnostics, SimError};
 pub use experiment::{
     base_cfg, headline, interface_study, interleave_policy_study, organization_comparison,
     predictor_study, representative_study, ubank_grid, GridResult, InterfaceRow, InterleaveRow,
     PredictorRow, RepresentativeRow, DEGREES, REPRESENTATIVE,
 };
 pub use report::{summarize, summary_columns, Table};
-pub use simulator::{run, run_many, SimConfig, SimResult};
+pub use simulator::{
+    run, run_many, run_many_checked, try_run, try_run_once, DriveMode, SequentialReason, SimConfig,
+    SimResult,
+};
+pub use sweep::{SlotRecord, SlotStatus, SweepRunner, SweepSlot};

@@ -50,6 +50,7 @@
 //! boundary has arrived, in boundary order, so the timeline is
 //! identical row for row.
 
+use crate::error::{ShardDiagnostics, ShardStallPanic};
 use crate::simulator::{stats_delta, Delivery, DriveOutput, EnqueueSlab, SimConfig};
 use microbank_core::address::AddressMap;
 use microbank_core::request::{MemRequest, ReqKind};
@@ -190,6 +191,40 @@ fn wait_until(aborted: &AtomicBool, budget: u32, what: &str, cond: impl Fn() -> 
     }
 }
 
+/// [`wait_until`] with a progress deadline: gives up and returns `false`
+/// once `cond` has stayed false for `deadline` (when set) instead of
+/// waiting forever. The clock is started lazily after the spin budget is
+/// exhausted and read only on the yield path, so a wait satisfied at spin
+/// speed — every wait of a healthy run — never touches it.
+fn wait_until_deadline(
+    aborted: &AtomicBool,
+    budget: u32,
+    deadline: Option<std::time::Duration>,
+    what: &str,
+    cond: impl Fn() -> bool,
+) -> bool {
+    let mut spins = 0u32;
+    let mut started: Option<std::time::Instant> = None;
+    while !cond() {
+        if aborted.load(Ordering::Acquire) {
+            panic!("sharded drive aborted while waiting for {what}");
+        }
+        spins = spins.wrapping_add(1);
+        if spins < budget {
+            std::hint::spin_loop();
+        } else {
+            if let Some(limit) = deadline {
+                let t0 = *started.get_or_insert_with(std::time::Instant::now);
+                if t0.elapsed() > limit {
+                    return false;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+    true
+}
+
 /// Spin budget for this drive's waits: generous when the host has a
 /// hardware thread for every participant (coordinator + workers),
 /// near-zero when oversubscribed.
@@ -210,6 +245,9 @@ struct Params {
     warmup: Cycle,
     /// 0 = no epoch sampling.
     epoch_cycles: Cycle,
+    /// Test hook (`SimConfig::test_stall_shard`): worker 0 stops sealing
+    /// slots at this slot index, simulating a wedged worker.
+    test_stall: Option<u64>,
 }
 
 /// Per-channel worker-side state.
@@ -334,6 +372,12 @@ fn worker_loop(
             me.comps.lock().append(&mut batch);
             me.comps_pushed.store(pushed_total, Ordering::Release);
         }
+        if w == 0 && p.test_stall == Some(slot_idx) {
+            // Wedge here without sealing the slot; the coordinator's
+            // watchdog must notice and abort, which makes this wait panic
+            // (tearing the thread down like any aborted wait).
+            wait_until(&shared.aborted, shared.spin, "test stall release", || false);
+        }
         me.done.store(slot_idx + 1, Ordering::Release);
         slot_idx += 1;
         cycle += p.stride;
@@ -406,6 +450,11 @@ struct Coord<'a> {
     read_lat_samples: u64,
     noc: Cycle,
     warmup: Cycle,
+    /// Watchdog deadline per coordinator wait (`None` = disabled). The
+    /// coordinator is the only side with a deadline: every worker wait is
+    /// on a value the coordinator publishes, so a wedged worker always
+    /// surfaces as a coordinator-side timeout.
+    watchdog: Option<std::time::Duration>,
 }
 
 impl Coord<'_> {
@@ -449,18 +498,36 @@ impl Coord<'_> {
     }
 
     /// Ensure worker `w` has completed `through` slots and its published
-    /// completions are folded into the mirror.
+    /// completions are folded into the mirror. If the worker seals
+    /// nothing within the watchdog deadline, capture diagnostics and
+    /// panic with [`ShardStallPanic`] — `drive_sharded` converts that
+    /// into a typed error after tearing the scope down.
     fn drain_worker(&mut self, w: usize, through: u64) {
         if self.drained[w] >= through {
             return;
         }
         let done = &self.shared.workers[w].done;
-        wait_until(
-            &self.shared.aborted,
-            self.shared.spin,
-            "worker slot",
-            || done.load(Ordering::Acquire) >= through,
-        );
+        // Re-arm the deadline whenever the worker seals *something*: the
+        // watchdog detects absence of progress, not slowness.
+        let mut last_seen = done.load(Ordering::Acquire);
+        loop {
+            let sealed = wait_until_deadline(
+                &self.shared.aborted,
+                self.shared.spin,
+                self.watchdog,
+                "worker slot",
+                || done.load(Ordering::Acquire) >= through,
+            );
+            if sealed {
+                break;
+            }
+            let seen = done.load(Ordering::Acquire);
+            if seen > last_seen {
+                last_seen = seen;
+                continue;
+            }
+            std::panic::panic_any(ShardStallPanic(self.stall_diagnostics(w, through)));
+        }
         // Everything pushed before the observed `done` is visible once we
         // take the mailbox lock; batches from an even newer slot may ride
         // along, which is safe (their removals precede any enqueue the
@@ -469,6 +536,43 @@ impl Coord<'_> {
         let observed = done.load(Ordering::Acquire);
         self.take_batches(w);
         self.drained[w] = observed;
+    }
+
+    /// Snapshot the dispatcher for the stall report: per-worker sealed
+    /// slots and completion backlogs, per-channel mailbox depths (via
+    /// `try_lock` — a held lock is reported as `None`, never waited on),
+    /// and the occupancy mirror.
+    fn stall_diagnostics(&self, w: usize, through: u64) -> ShardDiagnostics {
+        let shared = self.shared;
+        ShardDiagnostics {
+            workers: shared.workers.len(),
+            stalled_worker: w,
+            waiting_for_slot: through,
+            timeout_ms: self.watchdog.map_or(0, |d| d.as_millis() as u64),
+            watermark: shared.watermark.load(Ordering::Acquire),
+            cur_slot: self.cur_slot,
+            worker_done: shared
+                .workers
+                .iter()
+                .map(|ws| ws.done.load(Ordering::Acquire))
+                .collect(),
+            mailbox_depths: shared
+                .chans
+                .iter()
+                .map(|c| c.ops.try_lock().map(|g| g.len()))
+                .collect(),
+            completion_backlogs: shared
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(i, ws)| {
+                    ws.comps_pushed
+                        .load(Ordering::Acquire)
+                        .saturating_sub(self.comps_seen[i])
+                })
+                .collect(),
+            occupancy: self.occ.clone(),
+        }
     }
 
     /// Non-waiting sync: advance the mirror with everything the worker
@@ -524,6 +628,11 @@ impl MemPort for Coord<'_> {
 /// the freshly built controllers, returns them (final state identical to
 /// a sequential run) plus warmup snapshots and latency accounting, and
 /// pushes the same epoch rows into `timeline`.
+///
+/// `Err(diagnostics)` means the coordinator's watchdog declared a worker
+/// stalled: the scope was torn down (abort flag, worker unwind, full
+/// join) and no simulation state survives. Any *other* panic from inside
+/// the scope resumes unwinding untouched.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
     cfg: &SimConfig,
@@ -533,7 +642,7 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
     timeline: &mut Option<Timeline>,
     timer: &mut PhaseTimer,
     workers: usize,
-) -> DriveOutput {
+) -> Result<DriveOutput, Box<ShardDiagnostics>> {
     let channels = ctrls.len();
     let workers = workers.min(channels).max(1);
     let p = Params {
@@ -541,6 +650,7 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
         stride: cfg.ctrl_stride.max(1),
         warmup: cfg.warmup_cycles,
         epoch_cycles: cfg.telemetry.map_or(0, |tc| tc.epoch_cycles),
+        test_stall: cfg.test_stall_shard,
     };
     debug_assert!(cfg.cmp.noc_latency >= p.stride, "dispatcher invariant");
     let map = ctrls[0].map().clone();
@@ -583,223 +693,239 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
             .collect(),
     };
 
-    std::thread::scope(|s| {
-        let shared = &shared;
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .enumerate()
-            .map(|(w, (cs, ids))| {
-                std::thread::Builder::new()
-                    .name(format!("ubank-shard-{w}"))
-                    .spawn_scoped(s, move || {
-                        let _guard = AbortGuard(&shared.aborted);
-                        worker_loop(w, cs, ids, shared, p)
-                    })
-                    .expect("spawn shard worker")
-            })
-            .collect();
+    // The watchdog fires as a coordinator-side `panic_any(ShardStallPanic)`.
+    // `thread::scope` joins every worker before re-raising the closure's
+    // panic (the abort flag set during unwind breaks the workers out of
+    // their waits), so catching here observes a fully torn-down drive.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let shared = &shared;
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .enumerate()
+                .map(|(w, (cs, ids))| {
+                    std::thread::Builder::new()
+                        .name(format!("ubank-shard-{w}"))
+                        .spawn_scoped(s, move || {
+                            let _guard = AbortGuard(&shared.aborted);
+                            worker_loop(w, cs, ids, shared, p)
+                        })
+                        .expect("spawn shard worker")
+                })
+                .collect();
 
-        let _guard = AbortGuard(&shared.aborted);
-        let mut coord = Coord {
-            shared,
-            map,
-            owner,
-            cap: cfg.mem.queue_size,
-            occ: vec![0; channels],
-            drained: vec![0; workers],
-            comps_seen: vec![0; workers],
-            cur_slot: 0,
-            enqueue_time: EnqueueSlab::new(),
-            deliveries: BinaryHeap::new(),
-            read_latency_acc: 0,
-            read_latency_hist: microbank_core::hist::Histogram::new(),
-            read_lat_samples: 0,
-            noc: cfg.cmp.noc_latency,
-            warmup: cfg.warmup_cycles,
-        };
+            let _guard = AbortGuard(&shared.aborted);
+            let mut coord = Coord {
+                shared,
+                map,
+                owner,
+                cap: cfg.mem.queue_size,
+                occ: vec![0; channels],
+                drained: vec![0; workers],
+                comps_seen: vec![0; workers],
+                cur_slot: 0,
+                enqueue_time: EnqueueSlab::new(),
+                deliveries: BinaryHeap::new(),
+                read_latency_acc: 0,
+                read_latency_hist: microbank_core::hist::Histogram::new(),
+                read_lat_samples: 0,
+                noc: cfg.cmp.noc_latency,
+                warmup: cfg.warmup_cycles,
+                watchdog: (cfg.watchdog_timeout_ms > 0)
+                    .then(|| std::time::Duration::from_millis(cfg.watchdog_timeout_ms)),
+            };
 
-        let mut committed_at_warmup = 0u64;
-        let mut per_core_at_warmup: Vec<u64> = vec![0; cfg.cmp.cores];
-        let mut epoch_committed = 0u64;
-        let mut epoch_stats_prev = DramStats::default();
-        let mut pending_rows: VecDeque<PendingRow> = VecDeque::new();
-        let mut accs: BTreeMap<Cycle, BoundaryAcc> = BTreeMap::new();
+            let mut committed_at_warmup = 0u64;
+            let mut per_core_at_warmup: Vec<u64> = vec![0; cfg.cmp.cores];
+            let mut epoch_committed = 0u64;
+            let mut epoch_stats_prev = DramStats::default();
+            let mut pending_rows: VecDeque<PendingRow> = VecDeque::new();
+            let mut accs: BTreeMap<Cycle, BoundaryAcc> = BTreeMap::new();
 
-        // Fold newly arrived boundary snapshots in and finish every
-        // pending epoch row whose channels have all reported, in order.
-        let finalize = |coordless_shared: &Shared,
-                        accs: &mut BTreeMap<Cycle, BoundaryAcc>,
-                        pending_rows: &mut VecDeque<PendingRow>,
-                        epoch_stats_prev: &mut DramStats,
-                        timeline: &mut Option<Timeline>| {
-            for ws in &coordless_shared.workers {
-                let snaps = std::mem::take(&mut *ws.snaps.lock());
-                for sn in snaps {
-                    let acc = accs.entry(sn.boundary).or_insert_with(|| BoundaryAcc {
-                        stats: DramStats::default(),
-                        qlens: vec![0; channels],
-                        seen: 0,
-                    });
-                    acc.stats.merge(&sn.stats);
-                    acc.qlens[sn.channel] = sn.qlen;
-                    acc.seen += 1;
+            // Fold newly arrived boundary snapshots in and finish every
+            // pending epoch row whose channels have all reported, in order.
+            let finalize = |coordless_shared: &Shared,
+                            accs: &mut BTreeMap<Cycle, BoundaryAcc>,
+                            pending_rows: &mut VecDeque<PendingRow>,
+                            epoch_stats_prev: &mut DramStats,
+                            timeline: &mut Option<Timeline>| {
+                for ws in &coordless_shared.workers {
+                    let snaps = std::mem::take(&mut *ws.snaps.lock());
+                    for sn in snaps {
+                        let acc = accs.entry(sn.boundary).or_insert_with(|| BoundaryAcc {
+                            stats: DramStats::default(),
+                            qlens: vec![0; channels],
+                            seen: 0,
+                        });
+                        acc.stats.merge(&sn.stats);
+                        acc.qlens[sn.channel] = sn.qlen;
+                        acc.seen += 1;
+                    }
                 }
-            }
-            while let Some(front) = pending_rows.front() {
-                let complete = accs
-                    .get(&front.boundary)
-                    .is_some_and(|a| a.seen == channels);
-                if !complete {
-                    break;
-                }
-                let row_info = pending_rows.pop_front().unwrap();
-                let acc = accs.remove(&row_info.boundary).unwrap();
-                let d = stats_delta(&acc.stats, epoch_stats_prev);
-                *epoch_stats_prev = acc.stats;
-                let e = p.epoch_cycles;
-                let q_mean = acc.qlens.iter().sum::<usize>() as f64 / acc.qlens.len().max(1) as f64;
-                let power_w = integrator.integrate(&d, e).to_watts(e).total_w();
-                let mut row = vec![
-                    row_info.dc as f64 / e as f64,
-                    d.reads as f64,
-                    d.writes as f64,
-                    d.activates as f64,
-                    d.precharges as f64,
-                    d.row_hits as f64,
-                    d.row_conflicts as f64,
-                    d.refreshes as f64,
-                    d.scrubs as f64,
-                    q_mean,
-                    row_info.backlog as f64,
-                    power_w,
-                    d.powerdown_rank_cycles as f64,
-                ];
-                if channels > 1 {
-                    row.extend(acc.qlens.iter().map(|&q| q as f64));
-                }
-                timeline
-                    .as_mut()
-                    .expect("epoch implies timeline")
-                    .push(row_info.boundary, row);
-            }
-        };
-
-        let mut now: Cycle = 0;
-        let mut slot_cycle: Cycle = 0;
-        let mut slot_idx: u64 = 0;
-        while slot_cycle < p.total {
-            coord.cur_slot = slot_idx;
-            let phase_end = (slot_cycle + p.stride).min(p.total);
-            // Lazy drain: a completion from slot `k` surfaces as a fill no
-            // earlier than cycle `k·stride + noc`, so only slots whose
-            // fills could come due inside this phase must be synced now.
-            // `noc ≥ stride` gives the pipeline `noc/stride` slots of
-            // slack before the coordinator ever waits on a worker.
-            let due = {
-                let last = phase_end - 1;
-                if last >= coord.noc {
-                    (last - coord.noc) / p.stride + 1
-                } else {
-                    0
+                while let Some(front) = pending_rows.front() {
+                    let complete = accs
+                        .get(&front.boundary)
+                        .is_some_and(|a| a.seen == channels);
+                    if !complete {
+                        break;
+                    }
+                    let row_info = pending_rows.pop_front().unwrap();
+                    let acc = accs.remove(&row_info.boundary).unwrap();
+                    let d = stats_delta(&acc.stats, epoch_stats_prev);
+                    *epoch_stats_prev = acc.stats;
+                    let e = p.epoch_cycles;
+                    let q_mean =
+                        acc.qlens.iter().sum::<usize>() as f64 / acc.qlens.len().max(1) as f64;
+                    let power_w = integrator.integrate(&d, e).to_watts(e).total_w();
+                    let mut row = vec![
+                        row_info.dc as f64 / e as f64,
+                        d.reads as f64,
+                        d.writes as f64,
+                        d.activates as f64,
+                        d.precharges as f64,
+                        d.row_hits as f64,
+                        d.row_conflicts as f64,
+                        d.refreshes as f64,
+                        d.scrubs as f64,
+                        q_mean,
+                        row_info.backlog as f64,
+                        power_w,
+                        d.powerdown_rank_cycles as f64,
+                    ];
+                    if channels > 1 {
+                        row.extend(acc.qlens.iter().map(|&q| q as f64));
+                    }
+                    timeline
+                        .as_mut()
+                        .expect("epoch implies timeline")
+                        .push(row_info.boundary, row);
                 }
             };
+
+            let mut now: Cycle = 0;
+            let mut slot_cycle: Cycle = 0;
+            let mut slot_idx: u64 = 0;
+            while slot_cycle < p.total {
+                coord.cur_slot = slot_idx;
+                let phase_end = (slot_cycle + p.stride).min(p.total);
+                // Lazy drain: a completion from slot `k` surfaces as a fill no
+                // earlier than cycle `k·stride + noc`, so only slots whose
+                // fills could come due inside this phase must be synced now.
+                // `noc ≥ stride` gives the pipeline `noc/stride` slots of
+                // slack before the coordinator ever waits on a worker.
+                let due = {
+                    let last = phase_end - 1;
+                    if last >= coord.noc {
+                        (last - coord.noc) / p.stride + 1
+                    } else {
+                        0
+                    }
+                };
+                for w in 0..workers {
+                    coord.drain_worker(w, due);
+                }
+                while now < phase_end {
+                    if now == cfg.warmup_cycles {
+                        timer.mark("warmup");
+                        committed_at_warmup = cmp.total_committed();
+                        for (i, c) in per_core_at_warmup.iter_mut().enumerate() {
+                            *c = cmp.core(i).stats.committed;
+                        }
+                    }
+                    while coord.deliveries.peek().is_some_and(|d| d.at <= now) {
+                        let d = coord.deliveries.pop().unwrap();
+                        cmp.on_fill(d.id, now, &mut coord);
+                    }
+                    cmp.tick(now, &mut coord);
+                    if p.epoch_cycles > 0 && (now + 1).is_multiple_of(p.epoch_cycles) {
+                        let committed_now = cmp.total_committed();
+                        pending_rows.push_back(PendingRow {
+                            boundary: now + 1,
+                            dc: committed_now - epoch_committed,
+                            backlog: cmp.backlog_len(),
+                        });
+                        epoch_committed = committed_now;
+                    }
+                    now += 1;
+                }
+                shared.watermark.store(phase_end, Ordering::Release);
+                if !pending_rows.is_empty() {
+                    finalize(
+                        shared,
+                        &mut accs,
+                        &mut pending_rows,
+                        &mut epoch_stats_prev,
+                        timeline,
+                    );
+                }
+                slot_idx += 1;
+                slot_cycle += p.stride;
+            }
+
+            // Let the workers run their trailing drain, fold in the tail of
+            // the completion stream the lazy drain never needed, then collect
+            // the end-of-run snapshots (an epoch boundary can land exactly at
+            // `total`).
             for w in 0..workers {
-                coord.drain_worker(w, due);
+                coord.drain_worker(w, DONE_FINAL);
             }
-            while now < phase_end {
-                if now == cfg.warmup_cycles {
-                    timer.mark("warmup");
-                    committed_at_warmup = cmp.total_committed();
-                    for (i, c) in per_core_at_warmup.iter_mut().enumerate() {
-                        *c = cmp.core(i).stats.committed;
+            finalize(
+                shared,
+                &mut accs,
+                &mut pending_rows,
+                &mut epoch_stats_prev,
+                timeline,
+            );
+            assert!(pending_rows.is_empty(), "unfinished epoch rows");
+            timer.mark("measure");
+
+            // Reassemble controllers in channel order and fold in the warmup
+            // snapshots.
+            let mut slots: Vec<Option<MemoryController>> = (0..channels).map(|_| None).collect();
+            for h in handles {
+                match h.join() {
+                    Ok(pairs) => {
+                        for (chan, c) in pairs {
+                            slots[chan] = Some(c);
+                        }
                     }
+                    Err(e) => std::panic::resume_unwind(e),
                 }
-                while coord.deliveries.peek().is_some_and(|d| d.at <= now) {
-                    let d = coord.deliveries.pop().unwrap();
-                    cmp.on_fill(d.id, now, &mut coord);
+            }
+            let ctrls: Vec<MemoryController> = slots
+                .into_iter()
+                .map(|c| c.expect("every channel returned"))
+                .collect();
+
+            let mut dram_at_warmup = DramStats::default();
+            let mut heat_slots: Vec<Option<HeatCounters>> = vec![None; channels];
+            for ws in &shared.workers {
+                for snap in std::mem::take(&mut *ws.warmups.lock()) {
+                    dram_at_warmup.merge(&snap.stats);
+                    heat_slots[snap.channel] = snap.heat;
                 }
-                cmp.tick(now, &mut coord);
-                if p.epoch_cycles > 0 && (now + 1).is_multiple_of(p.epoch_cycles) {
-                    let committed_now = cmp.total_committed();
-                    pending_rows.push_back(PendingRow {
-                        boundary: now + 1,
-                        dc: committed_now - epoch_committed,
-                        backlog: cmp.backlog_len(),
-                    });
-                    epoch_committed = committed_now;
-                }
-                now += 1;
             }
-            shared.watermark.store(phase_end, Ordering::Release);
-            if !pending_rows.is_empty() {
-                finalize(
-                    shared,
-                    &mut accs,
-                    &mut pending_rows,
-                    &mut epoch_stats_prev,
-                    timeline,
-                );
+            let heat_at_warmup: Vec<HeatCounters> = heat_slots.into_iter().flatten().collect();
+
+            DriveOutput {
+                ctrls,
+                committed_at_warmup,
+                per_core_at_warmup,
+                dram_at_warmup,
+                heat_at_warmup,
+                read_latency_acc: coord.read_latency_acc,
+                read_latency_hist: coord.read_latency_hist,
+                read_lat_samples: coord.read_lat_samples,
             }
-            slot_idx += 1;
-            slot_cycle += p.stride;
-        }
-
-        // Let the workers run their trailing drain, fold in the tail of
-        // the completion stream the lazy drain never needed, then collect
-        // the end-of-run snapshots (an epoch boundary can land exactly at
-        // `total`).
-        for w in 0..workers {
-            coord.drain_worker(w, DONE_FINAL);
-        }
-        finalize(
-            shared,
-            &mut accs,
-            &mut pending_rows,
-            &mut epoch_stats_prev,
-            timeline,
-        );
-        assert!(pending_rows.is_empty(), "unfinished epoch rows");
-        timer.mark("measure");
-
-        // Reassemble controllers in channel order and fold in the warmup
-        // snapshots.
-        let mut slots: Vec<Option<MemoryController>> = (0..channels).map(|_| None).collect();
-        for h in handles {
-            match h.join() {
-                Ok(pairs) => {
-                    for (chan, c) in pairs {
-                        slots[chan] = Some(c);
-                    }
-                }
-                Err(e) => std::panic::resume_unwind(e),
-            }
-        }
-        let ctrls: Vec<MemoryController> = slots
-            .into_iter()
-            .map(|c| c.expect("every channel returned"))
-            .collect();
-
-        let mut dram_at_warmup = DramStats::default();
-        let mut heat_slots: Vec<Option<HeatCounters>> = vec![None; channels];
-        for ws in &shared.workers {
-            for snap in std::mem::take(&mut *ws.warmups.lock()) {
-                dram_at_warmup.merge(&snap.stats);
-                heat_slots[snap.channel] = snap.heat;
-            }
-        }
-        let heat_at_warmup: Vec<HeatCounters> = heat_slots.into_iter().flatten().collect();
-
-        DriveOutput {
-            ctrls,
-            committed_at_warmup,
-            per_core_at_warmup,
-            dram_at_warmup,
-            heat_at_warmup,
-            read_latency_acc: coord.read_latency_acc,
-            read_latency_hist: coord.read_latency_hist,
-            read_lat_samples: coord.read_lat_samples,
-        }
-    })
+        })
+    }));
+    match outcome {
+        Ok(out) => Ok(out),
+        Err(payload) => match payload.downcast::<ShardStallPanic>() {
+            Ok(stall) => Err(Box::new(stall.0)),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,11 @@
 //! The full-system simulator: CMP ⇄ memory controllers ⇄ μbank DRAM,
 //! with energy integration and the metrics every figure reports.
 
+use crate::error::{ShardDiagnostics, SimError};
 use microbank_core::config::MemConfig;
 use microbank_core::request::{MemRequest, ReqKind};
 use microbank_core::stats::DramStats;
+use microbank_core::validate::{Checker, ConfigError};
 use microbank_core::Cycle;
 use microbank_cpu::config::CmpConfig;
 use microbank_cpu::system::{CmpSystem, MemPort, SubmittedReq};
@@ -53,6 +55,20 @@ pub struct SimConfig {
     /// are bit-identical for every thread count — sharding only changes
     /// wall-clock time.
     pub threads: Option<usize>,
+    /// Progress deadline for the sharded drive's coordinator: if a worker
+    /// seals no new slot within this many wall-clock milliseconds while
+    /// the coordinator is waiting on it, the run is torn down and
+    /// reported as [`crate::error::SimError::ShardStall`] (and retried
+    /// sequentially by [`try_run`]). `0` disables the watchdog. The
+    /// default is deliberately generous — a healthy worker seals slots in
+    /// microseconds, so only a genuine deadlock or livelock can spend a
+    /// minute sealing nothing.
+    pub watchdog_timeout_ms: u64,
+    /// Test hook: make shard worker 0 stop sealing slots at this stride
+    /// slot, simulating a wedged worker so the watchdog path can be
+    /// exercised deterministically. Never set outside tests.
+    #[doc(hidden)]
+    pub test_stall_shard: Option<u64>,
 }
 
 impl SimConfig {
@@ -71,6 +87,8 @@ impl SimConfig {
             telemetry: None,
             faults: None,
             threads: None,
+            watchdog_timeout_ms: 60_000,
+            test_stall_shard: None,
         }
     }
 
@@ -109,6 +127,12 @@ impl SimConfig {
         self
     }
 
+    /// Set the sharded drive's progress deadline (0 disables it).
+    pub fn with_watchdog_timeout_ms(mut self, ms: u64) -> Self {
+        self.watchdog_timeout_ms = ms;
+        self
+    }
+
     /// Resolved worker-thread count: the explicit `threads` field, else the
     /// `MICROBANK_THREADS` environment variable, else 1 (sequential).
     pub fn effective_threads(&self) -> usize {
@@ -120,6 +144,63 @@ impl SimConfig {
                     .filter(|&n: &usize| n > 0)
             })
             .unwrap_or(1)
+    }
+
+    /// Top of the validation ladder: check this run end to end —
+    /// [`MemConfig::validate`], [`CmpConfig::validate`], plus the
+    /// sim-level invariants (stride, window arithmetic, telemetry epoch,
+    /// workload resolvability) — and report *every* problem at once.
+    /// [`try_run`] calls this before constructing any state.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let mut errors: Vec<ConfigError> = Vec::new();
+        if let Err(e) = self.mem.validate() {
+            errors.push(e);
+        }
+        if let Err(e) = self.cmp.validate() {
+            errors.push(e);
+        }
+        let mut c = Checker::new();
+        c.check(self.ctrl_stride >= 1, || {
+            format!(
+                "ctrl_stride = {}: controllers must tick at least every cycle",
+                self.ctrl_stride
+            )
+        });
+        c.check(self.measure_cycles >= 1, || {
+            format!(
+                "measure_cycles = {}: the measurement window must be non-empty",
+                self.measure_cycles
+            )
+        });
+        c.check(
+            self.warmup_cycles
+                .checked_add(self.measure_cycles)
+                .is_some(),
+            || {
+                format!(
+                    "warmup_cycles + measure_cycles overflows u64 ({} + {})",
+                    self.warmup_cycles, self.measure_cycles
+                )
+            },
+        );
+        if let Some(tc) = self.telemetry {
+            c.check(tc.epoch_cycles >= 1, || {
+                "telemetry.epoch_cycles = 0: an epoch must span at least one cycle".to_string()
+            });
+        }
+        if let Workload::Spec(name) = self.workload {
+            c.check(microbank_workloads::spec::by_name(name).is_some(), || {
+                format!("workload: unknown SPEC app {name:?}")
+            });
+        }
+        if let Err(e) = c.finish("SimConfig") {
+            errors.push(e);
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(SimError::InvalidConfig { errors })
+        }
     }
 }
 
@@ -170,6 +251,30 @@ impl TelemetryReport {
     }
 }
 
+/// Why a run executed on the classic single-threaded loop instead of the
+/// channel-sharded drive. Surfaced on [`SimResult::drive`] so a harness
+/// (or a confused user) can see *why* a run that asked for threads did
+/// not shard, without reverse-engineering the dispatch rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SequentialReason {
+    /// Effective thread count ≤ 1 (the default).
+    SingleThread,
+    /// The sharded drive's correctness precondition
+    /// `noc_latency ≥ ctrl_stride` does not hold for this config, so the
+    /// dispatcher refused to shard it.
+    NocBelowStride,
+    /// A sharded attempt stalled and the watchdog tore it down; this
+    /// result came from the automatic slow-but-correct sequential retry.
+    WatchdogRetry,
+}
+
+/// Which drive loop produced a [`SimResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DriveMode {
+    Sequential { reason: SequentialReason },
+    Sharded { workers: usize },
+}
+
 /// Measured outcome of one run (all values over the measurement window).
 #[derive(Debug, Clone, Serialize)]
 pub struct SimResult {
@@ -201,6 +306,8 @@ pub struct SimResult {
     /// reset at the warmup boundary — retirement state is cumulative).
     /// `None` when the reliability subsystem is disabled.
     pub reliability: Option<FaultSummary>,
+    /// Which drive loop executed this run, and — when sequential — why.
+    pub drive: DriveMode,
 }
 
 impl SimResult {
@@ -337,19 +444,65 @@ impl PartialOrd for Delivery {
 /// Run one simulation to completion. Honors `cfg.telemetry` for hook
 /// enablement but discards the collected report; use [`run_instrumented`]
 /// to keep it.
+///
+/// This is a thin panicking wrapper over [`try_run`]: an invalid
+/// configuration or an unrecovered error panics with the formatted
+/// [`SimError`]. Harnesses that want to match on the failure should call
+/// [`try_run`] directly.
 pub fn run(cfg: &SimConfig) -> SimResult {
-    run_inner(cfg).0
+    match try_run_full(cfg) {
+        Ok((result, _)) => result,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Run with telemetry collection forced on (using `cfg.telemetry` if set,
 /// the default [`TelemetryConfig`] otherwise) and return the report.
+/// Panicking wrapper like [`run`].
 pub fn run_instrumented(cfg: &SimConfig) -> (SimResult, TelemetryReport) {
     let mut cfg = cfg.clone();
     if cfg.telemetry.is_none() {
         cfg.telemetry = Some(TelemetryConfig::default());
     }
-    let (result, report) = run_inner(&cfg);
-    (result, report.expect("telemetry was enabled"))
+    match try_run_full(&cfg) {
+        Ok((result, report)) => (result, report.expect("telemetry was enabled")),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The canonical fallible entry point: validate `cfg`, then run it. If
+/// the sharded drive's watchdog declares a worker stalled, the stall is
+/// reported to stderr and the run is retried once on the sequential loop
+/// (`SimResult::drive` reports `WatchdogRetry`), so a sharding bug
+/// degrades to slow-but-correct instead of a hung or dead process.
+pub fn try_run(cfg: &SimConfig) -> Result<SimResult, SimError> {
+    try_run_full(cfg).map(|(result, _)| result)
+}
+
+/// Like [`try_run`], but without the sequential retry: a watchdog-detected
+/// stall surfaces as [`SimError::ShardStall`] with the captured
+/// dispatcher diagnostics. Use when the caller wants to *see* stalls
+/// (tests, bisection harnesses) rather than survive them.
+pub fn try_run_once(cfg: &SimConfig) -> Result<SimResult, SimError> {
+    cfg.validate()?;
+    run_attempt(cfg, None)
+        .map(|(result, _)| result)
+        .map_err(SimError::ShardStall)
+}
+
+/// Shared implementation: validation, the sharded attempt, and the
+/// sequential rescue retry.
+fn try_run_full(cfg: &SimConfig) -> Result<(SimResult, Option<TelemetryReport>), SimError> {
+    cfg.validate()?;
+    match run_attempt(cfg, None) {
+        Ok(out) => Ok(out),
+        Err(diag) => {
+            eprintln!(
+                "microbank-sim: sharded drive stalled; retrying on the sequential loop\n  {diag}"
+            );
+            run_attempt(cfg, Some(SequentialReason::WatchdogRetry)).map_err(SimError::ShardStall)
+        }
+    }
 }
 
 /// Field-wise `end - start` over every DRAM counter.
@@ -378,7 +531,15 @@ pub(crate) fn merged_stats(ctrls: &[MemoryController]) -> DramStats {
     d
 }
 
-fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
+/// One full simulation attempt. `force_sequential` pins the drive to the
+/// sequential loop with the given reason (used for the watchdog rescue
+/// retry); otherwise the dispatcher picks per the config. `Err` carries
+/// the watchdog's stall diagnostics — all simulation state built here is
+/// dropped with it, so a retry starts from scratch.
+fn run_attempt(
+    cfg: &SimConfig,
+    force_sequential: Option<SequentialReason>,
+) -> Result<(SimResult, Option<TelemetryReport>), Box<ShardDiagnostics>> {
     let mut timer = PhaseTimer::new();
     let capacity = cfg.mem.capacity_bytes();
     let sources = build_sources(cfg.workload, cfg.cmp.cores, capacity, cfg.seed);
@@ -440,19 +601,33 @@ fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
     // requires fills to cross the NoC no faster than the controller
     // stride (true for every paper config: noc = 8, stride = 2).
     let threads = cfg.effective_threads();
-    let out = if threads > 1 && cfg.cmp.noc_latency >= cfg.ctrl_stride {
-        let workers = threads.min(cfg.mem.channels).max(1);
-        crate::shard::drive_sharded(
-            cfg,
-            &mut cmp,
-            ctrls,
-            &integrator,
-            &mut timeline,
-            &mut timer,
-            workers,
-        )
+    let sequential_reason = if let Some(reason) = force_sequential {
+        Some(reason)
+    } else if threads <= 1 {
+        Some(SequentialReason::SingleThread)
+    } else if cfg.cmp.noc_latency < cfg.ctrl_stride {
+        Some(SequentialReason::NocBelowStride)
     } else {
-        drive_sequential(cfg, &mut cmp, ctrls, &integrator, &mut timeline, &mut timer)
+        None
+    };
+    let (out, drive) = match sequential_reason {
+        Some(reason) => (
+            drive_sequential(cfg, &mut cmp, ctrls, &integrator, &mut timeline, &mut timer),
+            DriveMode::Sequential { reason },
+        ),
+        None => {
+            let workers = threads.min(cfg.mem.channels).max(1);
+            let out = crate::shard::drive_sharded(
+                cfg,
+                &mut cmp,
+                ctrls,
+                &integrator,
+                &mut timeline,
+                &mut timer,
+                workers,
+            )?;
+            (out, DriveMode::Sharded { workers })
+        }
     };
     let DriveOutput {
         ctrls,
@@ -572,8 +747,9 @@ fn run_inner(cfg: &SimConfig) -> (SimResult, Option<TelemetryReport>) {
             .collect(),
         profile,
         reliability,
+        drive,
     };
-    (result, report)
+    Ok((result, report))
 }
 
 /// Everything a drive loop (sequential or sharded) produces beyond the
@@ -845,7 +1021,7 @@ fn sweep_threads() -> usize {
         })
 }
 
-fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = p.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = p.downcast_ref::<String>() {
@@ -855,20 +1031,22 @@ fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Run many configurations concurrently, one `Result` slot per config. A
-/// run that panics reports `Err(panic message)` in its slot instead of
-/// tearing down the whole sweep — the surviving slots still come back.
+/// Run many configurations concurrently, one `Result` slot per config.
+/// Each slot goes through [`try_run`] (validation, watchdog, sequential
+/// rescue) with a panic net on top: a run that fails reports its typed
+/// [`SimError`] in its slot instead of tearing down the whole sweep — the
+/// surviving slots still come back.
 ///
 /// The thread budget ([`sweep_threads`]) is split between sweep-level
 /// concurrency and per-run channel sharding: configs with `threads: None`
 /// get the cores the sweep leaves idle (a 2-config study on a 16-way
 /// machine shards each simulation 8 ways). Explicit `threads` settings
 /// are honored untouched.
-pub fn run_many_checked(cfgs: &[SimConfig]) -> Vec<Result<SimResult, String>> {
+pub fn run_many_checked(cfgs: &[SimConfig]) -> Vec<Result<SimResult, SimError>> {
     let budget = sweep_threads();
     let sweep = budget.min(cfgs.len().max(1));
     let per_run = (budget / sweep).max(1);
-    let mut results: Vec<Option<Result<SimResult, String>>> = vec![None; cfgs.len()];
+    let mut results: Vec<Option<Result<SimResult, SimError>>> = vec![None; cfgs.len()];
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results_mx = parking_lot::Mutex::new(&mut results);
     std::thread::scope(|s| {
@@ -882,8 +1060,12 @@ pub fn run_many_checked(cfgs: &[SimConfig]) -> Vec<Result<SimResult, String>> {
                 if cfg.threads.is_none() {
                     cfg.threads = Some(per_run);
                 }
-                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&cfg)))
-                    .map_err(panic_message);
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| try_run(&cfg)))
+                    .unwrap_or_else(|p| {
+                        Err(SimError::Panic {
+                            message: panic_message(p),
+                        })
+                    });
                 results_mx.lock()[i] = Some(r);
             });
         }

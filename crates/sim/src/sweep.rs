@@ -1,0 +1,326 @@
+//! Crash-safe, resumable sweep execution (DESIGN.md §5d).
+//!
+//! [`SweepRunner`] executes a list of [`SweepSlot`]s — `(id, SimConfig)`
+//! pairs — with the guarantees a long figure sweep actually needs:
+//!
+//! * **Per-slot isolation**: a slot that panics or errors records a
+//!   `Failed` outcome in its slot; the rest of the sweep still runs.
+//! * **One automatic retry** per failed execution (validation failures
+//!   are deterministic and are not retried).
+//! * **Crash-safe resume**: after every slot the runner atomically
+//!   rewrites `<dir>/<name>.manifest.json`, recording each slot's id, a
+//!   fingerprint of its configuration, its outcome, and its projected
+//!   values. A re-run skips any slot whose manifest entry matches
+//!   (same id, same config fingerprint, `ok` status) and reuses the
+//!   stored values — so a killed sweep continues where it stopped and
+//!   produces byte-identical final artifacts.
+//! * **Atomic artifacts**: every file written through the runner goes
+//!   through [`microbank_telemetry::atomic_write`].
+//!
+//! The stored values survive the JSON round-trip exactly: the writer
+//! emits f64s via the shortest-roundtrip `Display` path and the parser
+//! reads them back with `str::parse::<f64>`, which inverts it bit-for-bit.
+
+use crate::error::SimError;
+use crate::report::Table;
+use crate::simulator::{panic_message, try_run, SimConfig, SimResult};
+use microbank_telemetry::artifact::atomic_write;
+use microbank_telemetry::json::{self, JsonWriter};
+use std::path::{Path, PathBuf};
+
+/// One unit of sweep work: a stable identifier (the manifest key, also
+/// used as the row label) and the configuration to run.
+pub struct SweepSlot {
+    pub id: String,
+    pub cfg: SimConfig,
+}
+
+/// Outcome of one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotStatus {
+    Ok,
+    Failed,
+}
+
+/// A slot's manifest record: identity, outcome, and the projected values
+/// (the numbers the sweep's artifacts are built from).
+#[derive(Debug, Clone)]
+pub struct SlotRecord {
+    pub id: String,
+    /// Fingerprint of the slot's configuration (threads and test hooks
+    /// masked out — parallelism does not change results).
+    pub config_fp: String,
+    pub status: SlotStatus,
+    /// Executions spent on this record (1, or 2 after a retry).
+    pub attempts: u32,
+    /// The final error's rendering, for `Failed` records.
+    pub error: Option<String>,
+    pub values: Vec<f64>,
+    /// True when this record was satisfied from a prior run's manifest
+    /// instead of executed in this invocation.
+    pub resumed: bool,
+}
+
+/// Executes sweep slots with isolation, retry, and manifest-based resume.
+pub struct SweepRunner {
+    name: String,
+    dir: PathBuf,
+    /// Records accumulated by this invocation, in slot order.
+    records: Vec<SlotRecord>,
+    /// Records loaded from a prior manifest, consulted for resume.
+    prior: Vec<SlotRecord>,
+    /// Test hook: abort (like a crash) after this many *executed* slots.
+    #[doc(hidden)]
+    pub kill_after: Option<usize>,
+}
+
+impl SweepRunner {
+    /// A runner for sweep `name` writing under `dir`. Loads the prior
+    /// manifest if one exists; an unreadable or malformed manifest is
+    /// treated as absent (every slot re-executes — safe, just slower).
+    pub fn new(name: impl Into<String>, dir: impl Into<PathBuf>) -> Self {
+        let mut r = SweepRunner {
+            name: name.into(),
+            dir: dir.into(),
+            records: Vec::new(),
+            prior: Vec::new(),
+            kill_after: None,
+        };
+        r.prior = r.load_manifest().unwrap_or_default();
+        r
+    }
+
+    pub fn manifest_path(&self) -> PathBuf {
+        self.dir.join(format!("{}.manifest.json", self.name))
+    }
+
+    /// Records produced so far this invocation (one per processed slot).
+    pub fn records(&self) -> &[SlotRecord] {
+        &self.records
+    }
+
+    /// FNV-1a over the config's `Debug` rendering, with the fields that
+    /// cannot change results (thread count, test hooks) normalized out so
+    /// a resume on a different machine still matches.
+    fn config_fingerprint(cfg: &SimConfig) -> String {
+        let mut c = cfg.clone();
+        c.threads = None;
+        c.test_stall_shard = None;
+        let rendered = format!("{c:?}");
+        let mut h = 0xcbf29ce484222325u64;
+        for b in rendered.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
+        }
+        format!("{h:016x}")
+    }
+
+    /// Run every slot, resuming from the manifest where possible, and
+    /// return the records in slot order. `project` reduces a completed
+    /// run to the values the sweep's artifacts need; only those values
+    /// are stored, so resume never needs to re-run a completed slot.
+    ///
+    /// `Err` is reserved for harness-level failures (a manifest that
+    /// cannot be written, or the injected test kill) — slot failures are
+    /// reported in their records, not here.
+    pub fn run_slots(
+        &mut self,
+        slots: &[SweepSlot],
+        project: impl Fn(&SimResult) -> Vec<f64>,
+    ) -> Result<Vec<SlotRecord>, SimError> {
+        let mut executed = 0usize;
+        for slot in slots {
+            let fp = Self::config_fingerprint(&slot.cfg);
+            let prior_hit = self
+                .prior
+                .iter()
+                .find(|r| r.id == slot.id && r.config_fp == fp && r.status == SlotStatus::Ok);
+            if let Some(prev) = prior_hit {
+                let mut rec = prev.clone();
+                rec.resumed = true;
+                self.records.push(rec);
+                self.write_manifest()?;
+                continue;
+            }
+            if let Some(k) = self.kill_after {
+                if executed >= k {
+                    return Err(SimError::Panic {
+                        message: format!(
+                            "sweep '{}' killed after {k} executed slot(s) (test hook)",
+                            self.name
+                        ),
+                    });
+                }
+            }
+            let attempt = || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| try_run(&slot.cfg)))
+                    .unwrap_or_else(|p| {
+                        Err(SimError::Panic {
+                            message: panic_message(p),
+                        })
+                    })
+            };
+            let mut attempts = 1u32;
+            let mut outcome = attempt();
+            let retryable =
+                matches!(&outcome, Err(e) if !matches!(e, SimError::InvalidConfig { .. }));
+            if retryable {
+                eprintln!(
+                    "microbank-sim: sweep '{}' slot '{}' failed; retrying once",
+                    self.name, slot.id
+                );
+                attempts = 2;
+                outcome = attempt();
+            }
+            executed += 1;
+            let rec = match outcome {
+                Ok(result) => SlotRecord {
+                    id: slot.id.clone(),
+                    config_fp: fp,
+                    status: SlotStatus::Ok,
+                    attempts,
+                    error: None,
+                    values: project(&result),
+                    resumed: false,
+                },
+                Err(e) => SlotRecord {
+                    id: slot.id.clone(),
+                    config_fp: fp,
+                    status: SlotStatus::Failed,
+                    attempts,
+                    error: Some(e.to_string()),
+                    values: Vec::new(),
+                    resumed: false,
+                },
+            };
+            self.records.push(rec);
+            self.write_manifest()?;
+        }
+        Ok(self.records.clone())
+    }
+
+    /// Atomically write `bytes` as `<dir>/<file_name>`.
+    pub fn write_artifact(
+        &self,
+        file_name: &str,
+        bytes: impl AsRef<[u8]>,
+    ) -> Result<PathBuf, SimError> {
+        let path = self.dir.join(file_name);
+        write_atomic(&path, bytes)?;
+        Ok(path)
+    }
+
+    /// Write a [`Table`] as `<dir>/<name>.csv` and `<dir>/<name>.json`.
+    pub fn write_table(&self, table: &Table) -> Result<(), SimError> {
+        self.write_artifact(&format!("{}.csv", self.name), table.to_csv())?;
+        self.write_artifact(&format!("{}.json", self.name), table.to_json())?;
+        Ok(())
+    }
+
+    fn write_manifest(&self) -> Result<(), SimError> {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("sweep").string(&self.name);
+        w.key("slots").begin_array();
+        for r in &self.records {
+            w.begin_object();
+            w.key("id").string(&r.id);
+            w.key("config_fp").string(&r.config_fp);
+            w.key("status").string(match r.status {
+                SlotStatus::Ok => "ok",
+                SlotStatus::Failed => "failed",
+            });
+            w.key("attempts").uint(u64::from(r.attempts));
+            if let Some(e) = &r.error {
+                w.key("error").string(e);
+            }
+            w.key("values").begin_array();
+            for &v in &r.values {
+                w.num(v);
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        write_atomic(&self.manifest_path(), w.finish())
+    }
+
+    fn load_manifest(&self) -> Option<Vec<SlotRecord>> {
+        let text = std::fs::read_to_string(self.manifest_path()).ok()?;
+        let root = json::parse(&text).ok()?;
+        let mut out = Vec::new();
+        for slot in root.get("slots")?.items() {
+            let status = match slot.get("status")?.as_str()? {
+                "ok" => SlotStatus::Ok,
+                _ => SlotStatus::Failed,
+            };
+            out.push(SlotRecord {
+                id: slot.get("id")?.as_str()?.to_string(),
+                config_fp: slot.get("config_fp")?.as_str()?.to_string(),
+                status,
+                attempts: slot.get("attempts")?.as_f64()? as u32,
+                error: slot
+                    .get("error")
+                    .and_then(|e| e.as_str())
+                    .map(|s| s.to_string()),
+                values: slot
+                    .get("values")?
+                    .items()
+                    .iter()
+                    .map(|v| v.as_f64())
+                    .collect::<Option<Vec<f64>>>()?,
+                resumed: false,
+            });
+        }
+        Some(out)
+    }
+}
+
+fn write_atomic(path: &Path, bytes: impl AsRef<[u8]>) -> Result<(), SimError> {
+    atomic_write(path, bytes).map_err(|e| SimError::Artifact {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_masks_parallelism_and_test_hooks() {
+        let base = SimConfig::paper_default(microbank_workloads::suite::Workload::MixHigh);
+        let fp0 = SweepRunner::config_fingerprint(&base);
+        let mut threaded = base.clone();
+        threaded.threads = Some(8);
+        threaded.test_stall_shard = Some(3);
+        assert_eq!(fp0, SweepRunner::config_fingerprint(&threaded));
+        let mut different = base.clone();
+        different.seed ^= 1;
+        assert_ne!(fp0, SweepRunner::config_fingerprint(&different));
+    }
+
+    #[test]
+    fn values_roundtrip_exactly_through_the_manifest() {
+        let dir = std::env::temp_dir().join(format!("microbank_sweep_unit_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let values = vec![0.1 + 0.2, 1.0 / 3.0, -0.0, 12345.0, 6.02e23];
+        {
+            let mut r = SweepRunner::new("roundtrip", &dir);
+            r.records.push(SlotRecord {
+                id: "a".into(),
+                config_fp: "00".into(),
+                status: SlotStatus::Ok,
+                attempts: 1,
+                error: None,
+                values: values.clone(),
+                resumed: false,
+            });
+            r.write_manifest().unwrap();
+        }
+        let loaded = SweepRunner::new("roundtrip", &dir).prior;
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].values, values, "bit-exact f64 round-trip");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,210 @@
+//! Fail-safe pipeline suite (DESIGN.md §5d): the validation ladder, the
+//! typed-error entry points, the sharded drive's watchdog, and the
+//! sequential rescue retry. The cross-cutting invariant: a healthy run
+//! through `try_run` is bit-identical to `run`, and *no* configuration —
+//! valid, invalid, or stalled — may take the process down when entering
+//! through the fallible API.
+
+use microbank_ctrl::policy::PolicyKind;
+use microbank_ctrl::predictor::PredictorKind;
+use microbank_ctrl::scheduler::SchedulerKind;
+use microbank_sim::simulator::{
+    golden_fingerprint, run, try_run, try_run_once, DriveMode, SequentialReason, SimConfig,
+};
+use microbank_sim::SimError;
+use microbank_workloads::suite::Workload;
+
+/// The golden suite's configuration grid (kept in sync with
+/// `integration_golden.rs` and `parallel_invariance.rs`).
+fn golden_grid() -> Vec<SimConfig> {
+    let mut out = Vec::new();
+    for &(nw, nb) in &[(1, 1), (8, 8)] {
+        for sched in [
+            SchedulerKind::FrFcfs,
+            SchedulerKind::ParBs { marking_cap: 5 },
+        ] {
+            for policy in [
+                PolicyKind::Open,
+                PolicyKind::Close,
+                PolicyKind::Predictive(PredictorKind::Local),
+            ] {
+                let mut cfg = SimConfig::spec_single_channel(Workload::Spec("429.mcf")).quick();
+                cfg.mem = cfg.mem.with_ubanks(nw, nb);
+                cfg.warmup_cycles = 10_000;
+                cfg.measure_cycles = 30_000;
+                cfg.scheduler = sched;
+                cfg.policy = policy;
+                out.push(cfg);
+            }
+        }
+    }
+    assert_eq!(out.len(), 12);
+    out
+}
+
+/// A short multi-channel run: the class where the sharded drive actually
+/// distributes work, and therefore where the watchdog matters.
+fn multi_channel_cfg() -> SimConfig {
+    let mut cfg = SimConfig::paper_default(Workload::MixHigh);
+    cfg.warmup_cycles = 2_000;
+    cfg.measure_cycles = 6_000;
+    cfg
+}
+
+/// Acceptance: all 12 golden configs produce bit-identical fingerprints
+/// through `run()` and `try_run()` at 1 and 2 worker threads, with the
+/// watchdog armed (the default) and never firing on a healthy run.
+#[test]
+fn try_run_matches_run_on_every_golden_config() {
+    for cfg in golden_grid() {
+        assert!(cfg.watchdog_timeout_ms > 0, "watchdog armed by default");
+        let via_run = run(&cfg.clone().with_threads(1));
+        let via_try = try_run(&cfg.clone().with_threads(2)).expect("healthy config");
+        assert_eq!(
+            golden_fingerprint(&via_run),
+            golden_fingerprint(&via_try),
+            "run/try_run diverged for {:?}/{:?}/{:?}",
+            cfg.mem.ubank,
+            cfg.scheduler,
+            cfg.policy
+        );
+        assert!(
+            !matches!(
+                via_try.drive,
+                DriveMode::Sequential {
+                    reason: SequentialReason::WatchdogRetry
+                }
+            ),
+            "watchdog must not fire on a healthy run"
+        );
+    }
+}
+
+/// `SimResult::drive` truthfully reports which loop ran and why.
+#[test]
+fn drive_mode_reports_dispatch_decision() {
+    let cfg = multi_channel_cfg();
+    let seq = try_run(&cfg.clone().with_threads(1)).unwrap();
+    assert_eq!(
+        seq.drive,
+        DriveMode::Sequential {
+            reason: SequentialReason::SingleThread
+        }
+    );
+    let sharded = try_run(&cfg.clone().with_threads(2)).unwrap();
+    assert_eq!(sharded.drive, DriveMode::Sharded { workers: 2 });
+}
+
+/// Satellite: when `noc_latency < ctrl_stride` the dispatcher must refuse
+/// to shard, report why, and produce exactly the sequential result.
+#[test]
+fn noc_below_stride_falls_back_sequential_with_identical_fingerprint() {
+    let mut cfg = multi_channel_cfg();
+    cfg.ctrl_stride = cfg.cmp.noc_latency + 2; // violate the shard precondition
+    let threaded = try_run(&cfg.clone().with_threads(4)).unwrap();
+    assert_eq!(
+        threaded.drive,
+        DriveMode::Sequential {
+            reason: SequentialReason::NocBelowStride
+        },
+        "dispatcher must surface why it refused to shard"
+    );
+    let sequential = try_run(&cfg.clone().with_threads(1)).unwrap();
+    assert_eq!(
+        golden_fingerprint(&threaded),
+        golden_fingerprint(&sequential),
+        "fallback path must be bit-identical to the sequential loop"
+    );
+}
+
+/// An injected worker stall must surface as `SimError::ShardStall` with
+/// coherent diagnostics when the retry is disabled (`try_run_once`).
+#[test]
+fn watchdog_surfaces_stall_with_diagnostics() {
+    let mut cfg = multi_channel_cfg().with_threads(2);
+    cfg.watchdog_timeout_ms = 150;
+    cfg.test_stall_shard = Some(100);
+    let err = try_run_once(&cfg).expect_err("stalled run must not succeed");
+    match err {
+        SimError::ShardStall(d) => {
+            assert_eq!(d.workers, 2);
+            assert_eq!(d.stalled_worker, 0, "worker 0 carries the injected stall");
+            assert_eq!(d.worker_done.len(), 2);
+            assert_eq!(
+                d.worker_done[0], 100,
+                "worker 0 sealed exactly the slots before the stall"
+            );
+            assert!(d.waiting_for_slot > 100);
+            assert_eq!(d.timeout_ms, 150);
+            assert_eq!(d.mailbox_depths.len(), cfg.mem.channels);
+            assert_eq!(d.occupancy.len(), cfg.mem.channels);
+            let shown = SimError::ShardStall(d).to_string();
+            assert!(
+                shown.contains("worker 0/2"),
+                "display names the worker: {shown}"
+            );
+        }
+        other => panic!("expected ShardStall, got: {other}"),
+    }
+}
+
+/// The tentpole degradation property: with the retry enabled (`try_run`),
+/// a stalled sharded run degrades to slow-but-correct — the sequential
+/// rescue produces exactly the fingerprint a healthy run produces.
+#[test]
+fn watchdog_retry_degrades_to_correct_sequential_run() {
+    let mut stalled = multi_channel_cfg().with_threads(2);
+    stalled.watchdog_timeout_ms = 150;
+    stalled.test_stall_shard = Some(50);
+    let rescued = try_run(&stalled).expect("retry must rescue the run");
+    assert_eq!(
+        rescued.drive,
+        DriveMode::Sequential {
+            reason: SequentialReason::WatchdogRetry
+        }
+    );
+    let healthy = try_run(&multi_channel_cfg().with_threads(1)).unwrap();
+    assert_eq!(
+        golden_fingerprint(&rescued),
+        golden_fingerprint(&healthy),
+        "rescued run must be bit-identical to a healthy sequential run"
+    );
+}
+
+/// The validation ladder rejects a bad config with per-component
+/// diagnostics instead of panicking mid-construction.
+#[test]
+fn invalid_configs_yield_typed_errors_not_panics() {
+    // Several independent problems across components, reported at once.
+    let mut cfg = SimConfig::paper_default(Workload::MixHigh);
+    cfg.mem.queue_size = 0;
+    cfg.mem.ubank.n_w = 3; // not a power of two
+    cfg.mem.timing.t_ras_ns = 5.0; // < tRCD: impossible device
+    cfg.cmp.mshrs_per_core = 0;
+    cfg.ctrl_stride = 0;
+    let err = try_run(&cfg).expect_err("invalid config must be rejected");
+    match &err {
+        SimError::InvalidConfig { errors } => {
+            let components: Vec<&str> = errors.iter().map(|e| e.component).collect();
+            assert!(components.contains(&"MemConfig"), "{components:?}");
+            assert!(components.contains(&"CmpConfig"), "{components:?}");
+            assert!(components.contains(&"SimConfig"), "{components:?}");
+            for e in errors {
+                assert!(!e.diagnostics.is_empty(), "diagnostics never empty");
+            }
+        }
+        other => panic!("expected InvalidConfig, got: {other}"),
+    }
+    let shown = err.to_string();
+    assert!(shown.contains("queue_size"), "{shown}");
+    assert!(shown.contains("tRAS"), "{shown}");
+}
+
+/// The panicking wrapper stays a wrapper: same rejection, as a panic
+/// whose message carries the diagnostics.
+#[test]
+#[should_panic(expected = "unknown SPEC app")]
+fn run_panics_with_formatted_diagnostics_on_invalid_config() {
+    let cfg = SimConfig::spec_single_channel(Workload::Spec("no.such.app")).quick();
+    let _ = run(&cfg);
+}

@@ -191,20 +191,29 @@ fn single_channel_telemetry_survives_sharded_path() {
     assert_eq!(t1.trace, t2.trace);
 }
 
-/// The hardened sweep runner: a panicking configuration reports an `Err`
+/// The hardened sweep runner: a bad configuration reports a typed `Err`
 /// in its own slot while the surviving runs still come back.
 #[test]
-fn run_many_checked_captures_per_slot_panics() {
+fn run_many_checked_captures_per_slot_failures() {
     let good = SimConfig::spec_single_channel(Workload::Spec("429.mcf")).quick();
     let bad = SimConfig::spec_single_channel(Workload::Spec("no.such.app")).quick();
     let results = run_many_checked(&[good, bad]);
     assert_eq!(results.len(), 2);
     assert!(results[0].is_ok(), "healthy run must survive the sweep");
-    let err = results[1].as_ref().expect_err("unknown app must panic");
-    assert!(
-        err.contains("unknown SPEC app"),
-        "panic message should be preserved, got: {err}"
-    );
+    let err = results[1]
+        .as_ref()
+        .expect_err("unknown app must be rejected");
+    match err {
+        microbank_sim::SimError::InvalidConfig { errors } => {
+            assert!(
+                errors
+                    .iter()
+                    .any(|e| e.diagnostics.iter().any(|d| d.contains("unknown SPEC app"))),
+                "diagnostics should name the unknown app, got: {errors:?}"
+            );
+        }
+        other => panic!("expected InvalidConfig, got: {other}"),
+    }
 }
 
 /// Thread-count resolution precedence: an explicit `threads` setting wins;

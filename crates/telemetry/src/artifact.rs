@@ -1,0 +1,78 @@
+//! Atomic artifact writes: never leave a half-written result file.
+//!
+//! Every file the harness binaries emit under `results/` — CSVs, JSON
+//! exports, sweep manifests — goes through [`atomic_write`]. A plain
+//! `std::fs::write` interrupted by a crash (or an over-eager Ctrl-C)
+//! leaves a truncated file that a later resume would happily trust; the
+//! write-to-temp + fsync + rename dance guarantees a reader only ever
+//! observes either the old content or the complete new content.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Write `bytes` to `path` atomically: create the parent directory if
+/// needed, write `<path>.<pid>.tmp`, fsync it, then rename over `path`.
+/// The PID suffix keeps concurrent writers (e.g. parallel test
+/// processes) off each other's temp files; rename settles the race with
+/// last-writer-wins, which is also what direct writes would give.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: impl AsRef<[u8]>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".{}.tmp", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes.as_ref())?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Best-effort cleanup; the original error is the one to report.
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("microbank_artifact_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_and_replaces_content() {
+        let p = tmp_path("replace");
+        atomic_write(&p, "first").unwrap();
+        assert_eq!(fs::read_to_string(&p).unwrap(), "first");
+        atomic_write(&p, "second").unwrap();
+        assert_eq!(fs::read_to_string(&p).unwrap(), "second");
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn creates_missing_parent_directories() {
+        let dir = tmp_path("nested_dir");
+        let _ = fs::remove_dir_all(&dir);
+        let p = dir.join("a/b/out.csv");
+        atomic_write(&p, "x,y\n").unwrap();
+        assert_eq!(fs::read_to_string(&p).unwrap(), "x,y\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leaves_no_temp_file_behind() {
+        let p = tmp_path("no_tmp");
+        atomic_write(&p, "data").unwrap();
+        let tmp = format!("{}.{}.tmp", p.display(), std::process::id());
+        assert!(!Path::new(&tmp).exists());
+        let _ = fs::remove_file(&p);
+    }
+}

@@ -16,16 +16,20 @@
 //! * [`profile`] — [`profile::PhaseTimer`]: wall-clock self-profiling of
 //!   the harness (simulated Mcycles per wall-second).
 //! * [`json`] — the minimal writer/parser backing the JSON exports.
+//! * [`artifact`] — [`artifact::atomic_write`]: temp-file + fsync + rename
+//!   writes, so a crash never leaves a truncated result artifact.
 //!
 //! All hot-path hooks are designed to sit behind an `Option<Box<…>>` on
 //! the owning component: disabled (the default) costs one branch.
 
+pub mod artifact;
 pub mod heat;
 pub mod json;
 pub mod profile;
 pub mod series;
 pub mod trace;
 
+pub use artifact::atomic_write;
 pub use heat::{ChannelTelemetry, HeatCounters};
 pub use profile::{mcycles_per_sec, PhaseTimer};
 pub use series::Timeline;

@@ -33,6 +33,17 @@ impl<T: ?Sized> Mutex<T> {
             .lock()
             .unwrap_or_else(|e| panic!("poisoned mutex: {e}"))
     }
+
+    /// Acquire the lock only if it is free right now (parking_lot's
+    /// `try_lock` signature: `None` means contended). Poisoning panics,
+    /// like [`Self::lock`].
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+            Err(std::sync::TryLockError::Poisoned(e)) => panic!("poisoned mutex: {e}"),
+        }
+    }
 }
 
 #[cfg(test)]
