@@ -7,12 +7,16 @@
 //! the single-thread run. Writes `results/BENCH_parallel.json`.
 //!
 //! The CPU front end is deliberately small (4 cores, prefetch degree 4,
-//! 32 MSHRs/core): profiling shows the paper-default 64-core system
-//! spends ~94% of every cycle in the serial CPU model, capping any
-//! channel-sharded speedup near 1.06× (Amdahl). This configuration
-//! pushes the controller share to ~69% of the cycle loop, so the sweep
-//! measures the parallel headroom of the sharded drive itself — the
-//! same philosophy as `bench_hotpath`, which isolates one controller.
+//! 32 MSHRs/core): the paper-default 64-core system spends nearly every
+//! cycle in the serial CPU model, capping any channel-sharded speedup
+//! near 1.06× (Amdahl). This configuration pushes most of the cycle
+//! loop into the controllers, so the sweep measures the parallel
+//! headroom of the sharded drive itself — the same philosophy as
+//! `bench_hotpath`, which isolates one controller. The actual shares
+//! are not estimated but measured: each sweep point also does one
+//! span-traced run (`SimConfig::with_spans`) and records the
+//! controller / coordinator / spin-wait breakdown in the artifact's
+//! `measured_shares` objects.
 //!
 //! Usage:
 //!   bench_parallel [--reps N] [--out PATH]
@@ -28,6 +32,7 @@
 
 use microbank_sim::simulator::{golden_fingerprint, run, SimConfig};
 use microbank_telemetry::json::{parse, JsonWriter};
+use microbank_telemetry::SpanRow;
 use microbank_workloads::suite::Workload;
 
 const SWEEP: [usize; 3] = [1, 2, 4];
@@ -48,6 +53,49 @@ struct SweepPoint {
     threads: usize,
     mcps: f64,
     fingerprint: [u64; 13],
+    /// Wall-clock shares of the drive phase, measured from one
+    /// span-traced run: `(name, fraction)` pairs.
+    shares: Vec<(String, f64)>,
+}
+
+/// Sum of `secs` over span rows with exactly this path.
+fn span_secs(spans: &[SpanRow], path: &str) -> f64 {
+    spans
+        .iter()
+        .filter(|s| s.path == path)
+        .map(|s| s.secs)
+        .sum()
+}
+
+/// Reduce a span-traced run's rows to named fractions of the drive
+/// phase. Sequential runs report the controller-tick share; sharded
+/// runs report coordinator-busy, drain-wait, and the mean worker
+/// work/spin shares.
+fn drive_shares(spans: &[SpanRow], threads: usize) -> Vec<(String, f64)> {
+    let drive = span_secs(spans, "drive").max(1e-12);
+    let frac = |path: &str| span_secs(spans, path) / drive;
+    if threads <= 1 {
+        return vec![
+            ("ctrl_tick".to_string(), frac("drive/ctrl-tick")),
+            ("cpu_and_noc".to_string(), frac("drive/cpu-and-noc")),
+        ];
+    }
+    let mut out = vec![
+        ("coordinator_busy".to_string(), frac("drive/coordinator")),
+        (
+            "coordinator_drain_wait".to_string(),
+            frac("drive/coordinator/drain-wait"),
+        ),
+    ];
+    let mut work = 0.0;
+    let mut spin = 0.0;
+    for w in 0..threads {
+        work += frac(&format!("drive/worker-{w}/work"));
+        spin += frac(&format!("drive/worker-{w}/spin-wait"));
+    }
+    out.push(("worker_work_mean".to_string(), work / threads as f64));
+    out.push(("worker_spin_mean".to_string(), spin / threads as f64));
+    out
 }
 
 fn measure(threads: usize, reps: usize) -> SweepPoint {
@@ -61,10 +109,20 @@ fn measure(threads: usize, reps: usize) -> SweepPoint {
         }
         fingerprint = golden_fingerprint(&r);
     }
+    // One extra span-traced run for the share breakdown. Span tracing is
+    // observation only; a diverging fingerprint here would mean the
+    // observability layer leaked into simulated state.
+    let traced = run(&cfg.clone().with_spans(true));
+    assert_eq!(
+        golden_fingerprint(&traced),
+        fingerprint,
+        "span tracing changed results at {threads} threads"
+    );
     SweepPoint {
         threads,
         mcps: best,
         fingerprint,
+        shares: drive_shares(&traced.profile.spans, threads),
     }
 }
 
@@ -106,8 +164,13 @@ fn to_json(points: &[SweepPoint], reps: usize, host_cpus: usize, gate: &str) -> 
             .key("sim_mcycles_per_sec")
             .num(p.mcps)
             .key("speedup_vs_1thread")
-            .num(p.mcps / base)
-            .end_object();
+            .num(p.mcps / base);
+        w.key("measured_shares").begin_object();
+        for (name, v) in &p.shares {
+            w.key(name).num(*v);
+        }
+        w.end_object();
+        w.end_object();
     }
     w.end_array();
     if let Some(hp) = hotpath_baseline("results/BENCH_hotpath.json") {
@@ -134,11 +197,17 @@ fn main() {
     let points: Vec<SweepPoint> = SWEEP.iter().map(|&t| measure(t, reps)).collect();
     let base = points[0].mcps;
     for p in &points {
+        let shares: Vec<String> = p
+            .shares
+            .iter()
+            .map(|(n, v)| format!("{n} {:.0}%", v * 100.0))
+            .collect();
         println!(
-            "threads {}: {:8.3} Mcycles/s  speedup {:.2}x",
+            "threads {}: {:8.3} Mcycles/s  speedup {:.2}x  [{}]",
             p.threads,
             p.mcps,
-            p.mcps / base
+            p.mcps / base,
+            shares.join(", ")
         );
     }
 

@@ -1,0 +1,124 @@
+//! Validates the observability surfaces a sweep exposes: a captured
+//! `/status` (or `<name>.status.json`) document and a captured
+//! `/metrics` exposition. CI scrapes a live `sweep_smoke` run and hands
+//! the captures here; a human can point it at the files a finished
+//! sweep left behind.
+//!
+//! Checks:
+//!   * the status document parses as JSON and carries the progress
+//!     schema (`sweep`, `total_slots`, `done`, `slots[].state`, ...)
+//!     with internally consistent counts;
+//!   * the metrics exposition parses under the Prometheus 0.0.4 text
+//!     format, histograms are cumulative-monotone, and the sweep
+//!     progress metrics are present.
+//!
+//! Usage: obs_check --status FILE [--metrics FILE]
+
+use microbank_telemetry::json::parse;
+use microbank_telemetry::metrics::validate_exposition;
+
+fn check_status(text: &str) -> Result<(), String> {
+    let doc = parse(text).map_err(|off| format!("status is not JSON (byte {off})"))?;
+    for key in [
+        "sweep",
+        "total_slots",
+        "done",
+        "executed",
+        "failed",
+        "slots",
+    ] {
+        if doc.get(key).is_none() {
+            return Err(format!("status missing key {key:?}"));
+        }
+    }
+    let total = doc
+        .get("total_slots")
+        .and_then(|v| v.as_f64())
+        .ok_or("total_slots not a number")? as usize;
+    let done = doc
+        .get("done")
+        .and_then(|v| v.as_f64())
+        .ok_or("done not a number")? as usize;
+    if done > total {
+        return Err(format!("done {done} exceeds total_slots {total}"));
+    }
+    let slots = doc.get("slots").ok_or("missing slots")?.items();
+    if slots.len() != total {
+        return Err(format!(
+            "slots array has {} entries, total_slots says {total}",
+            slots.len()
+        ));
+    }
+    let mut settled = 0usize;
+    for s in slots {
+        let state = s
+            .get("state")
+            .and_then(|v| v.as_str())
+            .ok_or("slot missing state")?;
+        match state {
+            "ok" | "failed" | "resumed" => settled += 1,
+            "running" | "pending" => {}
+            other => return Err(format!("unknown slot state {other:?}")),
+        }
+        if s.get("id").and_then(|v| v.as_str()).is_none() {
+            return Err("slot missing id".to_string());
+        }
+    }
+    if settled != done {
+        return Err(format!("{settled} settled slot states but done = {done}"));
+    }
+    Ok(())
+}
+
+fn check_metrics(text: &str) -> Result<usize, String> {
+    let n = validate_exposition(text)?;
+    if n == 0 {
+        return Err("exposition contains no samples".to_string());
+    }
+    if !text.contains("microbank_sweep_slots_done") {
+        return Err("exposition missing microbank_sweep_slots_done".to_string());
+    }
+    Ok(n)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let Some(status_path) = flag("--status") else {
+        eprintln!("usage: obs_check --status FILE [--metrics FILE]");
+        std::process::exit(2);
+    };
+    let status = match std::fs::read_to_string(&status_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("obs_check: cannot read {status_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = check_status(&status) {
+        eprintln!("obs_check: status invalid: {e}");
+        std::process::exit(1);
+    }
+    println!("status ok: {status_path}");
+
+    if let Some(metrics_path) = flag("--metrics") {
+        let metrics = match std::fs::read_to_string(&metrics_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("obs_check: cannot read {metrics_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match check_metrics(&metrics) {
+            Ok(n) => println!("metrics ok: {metrics_path} ({n} samples)"),
+            Err(e) => {
+                eprintln!("obs_check: metrics invalid: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Observability smoke harness: runs a short multi-slot sweep with the
+//! live status surface enabled, so CI (or a curious human) can scrape
+//! `/status` and `/metrics` while slots are executing.
+//!
+//! The slots are real simulations — a μbank-partition mini-sweep on a
+//! small controller-stress configuration — sized so the sweep lasts a
+//! few seconds: long enough for an external scraper to observe
+//! intermediate states, short enough for a CI smoke step.
+//!
+//! Usage:
+//!   sweep_smoke [--slots N] [--cycles N] [--out DIR] [--addr HOST:PORT]
+//!
+//! The endpoint address comes from `--addr` or the `MICROBANK_STATUS_ADDR`
+//! environment variable (the flag wins). The bound address is printed as
+//! `status endpoint: <addr>` on stdout before the first slot runs.
+
+use microbank_sim::simulator::SimConfig;
+use microbank_sim::{summarize, summary_columns, SlotStatus, SweepRunner, SweepSlot, Table};
+use microbank_workloads::suite::Workload;
+
+fn smoke_cfg(ubanks: usize, cycles: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(Workload::Spec("429.mcf"));
+    cfg.mem = cfg.mem.with_ubanks(ubanks, ubanks).with_queue_size(64);
+    cfg.cmp.cores = 4;
+    cfg.cmp.prefetch_degree = 4;
+    cfg.cmp.mshrs_per_core = 32;
+    cfg.warmup_cycles = 10_000;
+    cfg.measure_cycles = cycles;
+    cfg
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let n_slots: usize = flag("--slots").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let cycles: u64 = flag("--cycles")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600_000);
+    let out = flag("--out").unwrap_or_else(|| "results/smoke".to_string());
+
+    let partitions = [1usize, 2, 4, 8, 16];
+    let slots: Vec<SweepSlot> = (0..n_slots)
+        .map(|i| {
+            let u = partitions[i % partitions.len()];
+            SweepSlot {
+                id: format!("ubank_{u}x{u}"),
+                cfg: smoke_cfg(u, cycles),
+            }
+        })
+        .collect();
+
+    let mut runner = SweepRunner::new("smoke", &out);
+    if let Some(addr) = flag("--addr") {
+        if let Err(e) = runner.serve_status(&addr) {
+            eprintln!("sweep_smoke: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+    match runner.status_addr() {
+        Some(addr) => println!("status endpoint: {addr}"),
+        None => println!("status endpoint: disabled (no --addr / MICROBANK_STATUS_ADDR)"),
+    }
+    println!("status file: {}", runner.status_path().display());
+
+    let records = match runner.run_slots(&slots, summarize) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep_smoke: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut table = Table::new("smoke", &summary_columns());
+    for r in &records {
+        if r.status == SlotStatus::Ok {
+            table.push(r.id.clone(), r.values.clone());
+        }
+    }
+    if let Err(e) = runner.write_table(&table) {
+        eprintln!("sweep_smoke: {e}");
+        std::process::exit(1);
+    }
+
+    let failed = records
+        .iter()
+        .filter(|r| r.status == SlotStatus::Failed)
+        .count();
+    println!(
+        "smoke sweep: {} slots, {} failed, artifacts under {out}",
+        records.len(),
+        failed
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -4,10 +4,13 @@
 //!
 //!   results/timeline_<tag>.csv / .json   epoch time-series
 //!   results/heat_<tag>.csv / .json       per-μbank heat map
-//!   results/trace_<tag>.json             Chrome trace_event command trace
+//!   results/trace_<tag>.json             Chrome trace_event command trace,
+//!                                        with harness span rows merged in
+//!   results/spans_<tag>.json             hierarchical harness span tree
 //!
 //! Also cross-checks the heat map against the run's DRAM stats (the totals
-//! must reconcile exactly) and round-trips the trace through the parser.
+//! must reconcile exactly) and round-trips the trace through the parser
+//! (which must skip the merged harness rows).
 //!
 //! Usage: `timeline [--quick] [--out DIR]`
 
@@ -35,9 +38,12 @@ fn real_main() -> std::io::Result<()> {
 
     let cases = [("1x1", 1, 1), ("4x4", 4, 4)];
     for (tag, n_w, n_b) in cases {
-        let mut cfg = SimConfig::spec_single_channel(Workload::Spec("429.mcf")).with_telemetry(
-            TelemetryConfig::new(if quick { 2_000 } else { 10_000 }, 65_536),
-        );
+        let mut cfg = SimConfig::spec_single_channel(Workload::Spec("429.mcf"))
+            .with_telemetry(TelemetryConfig::new(
+                if quick { 2_000 } else { 10_000 },
+                65_536,
+            ))
+            .with_spans(true);
         cfg.mem = cfg.mem.with_ubanks(n_w, n_b);
         if quick {
             cfg = cfg.quick();
@@ -55,8 +61,10 @@ fn real_main() -> std::io::Result<()> {
         assert_eq!(heat.total_hits(), r.dram.row_hits);
         assert_eq!(heat.total_conflicts(), r.dram.row_conflicts);
 
-        // Trace must survive a round-trip through the Chrome JSON parser.
-        let trace_json = trace::to_chrome_json(&rep.trace);
+        // Trace must survive a round-trip through the Chrome JSON parser;
+        // harness span rows ride along under their own pid and must be
+        // skipped by the parser, not confused with device commands.
+        let trace_json = trace::to_chrome_json_with_spans(&rep.trace, &r.profile.spans);
         let parsed = trace::from_chrome_json(&trace_json).expect("trace round-trip");
         assert_eq!(
             parsed.len(),
@@ -75,6 +83,10 @@ fn real_main() -> std::io::Result<()> {
         atomic_write(out.join(format!("heat_{tag}.csv")), heat.to_csv())?;
         atomic_write(out.join(format!("heat_{tag}.json")), heat.to_json())?;
         atomic_write(out.join(format!("trace_{tag}.json")), &trace_json)?;
+        atomic_write(
+            out.join(format!("spans_{tag}.json")),
+            microbank_telemetry::span::rows_to_json(&r.profile.spans),
+        )?;
 
         println!(
             "429.mcf ({n_w},{n_b})  ipc {:.3}  row-hit {:.2}",
@@ -94,11 +106,12 @@ fn real_main() -> std::io::Result<()> {
             rep.trace_dropped,
         );
         println!(
-            "  harness: {:.1} Mcycles/s  (setup {:.2}s, warmup {:.2}s, measure {:.2}s)",
+            "  harness: {:.1} Mcycles/s  (setup {:.2}s, warmup {:.2}s, measure {:.2}s, {} spans)",
             r.profile.sim_mcycles_per_sec,
             r.profile.setup_secs,
             r.profile.warmup_secs,
             r.profile.measure_secs,
+            r.profile.spans.len(),
         );
     }
     println!("\nartifacts written to {}", out.display());

@@ -14,7 +14,8 @@
 //! * [`error`] — the typed failure vocabulary ([`error::SimError`]) of the
 //!   fallible entry points; see DESIGN.md §5d.
 //! * [`sweep`] — crash-safe resumable sweep execution with per-slot
-//!   isolation and an atomic on-disk manifest.
+//!   isolation, an atomic on-disk manifest, and a live status surface
+//!   (`<name>.status.json` + optional HTTP `/status` & `/metrics`).
 
 pub mod error;
 pub mod experiment;
@@ -35,3 +36,9 @@ pub use simulator::{
     SimResult,
 };
 pub use sweep::{SlotRecord, SlotStatus, SweepRunner, SweepSlot};
+
+// Observability building blocks, re-exported so harness binaries need
+// only this crate: span rows ride on `SimResult::profile`, the registry
+// backs `/metrics`, and `http_get` is the matching scrape helper.
+pub use microbank_telemetry::status::http_get;
+pub use microbank_telemetry::{MetricsRegistry, SpanRow, SpanTracer, StatusServer, StatusShared};

@@ -59,7 +59,7 @@ use microbank_core::Cycle;
 use microbank_cpu::system::{CmpSystem, MemPort, SubmittedReq};
 use microbank_ctrl::controller::{Completion, MemoryController};
 use microbank_energy::power::PowerIntegrator;
-use microbank_telemetry::{HeatCounters, PhaseTimer, Timeline};
+use microbank_telemetry::{HeatCounters, SpanTracer, Timeline};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -248,6 +248,26 @@ struct Params {
     /// Test hook (`SimConfig::test_stall_shard`): worker 0 stops sealing
     /// slots at this slot index, simulating a wedged worker.
     test_stall: Option<u64>,
+    /// Fine-grained span accounting (`SimConfig::spans`): workers time
+    /// their spin-waits and mailbox seals, the coordinator its drain
+    /// waits. Wall-clock observation only — never fed back into the
+    /// simulated machine, so results are bit-identical either way.
+    spans: bool,
+}
+
+/// Wall-clock accounting one worker hands back for span grafting.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct WorkerSpans {
+    /// Whole `worker_loop` duration.
+    pub(crate) total_ns: u64,
+    /// Time blocked on the coordinator's watermark.
+    pub(crate) spin_ns: u64,
+    pub(crate) spin_waits: u64,
+    /// Time publishing completion batches + sealing slots.
+    pub(crate) seal_ns: u64,
+    pub(crate) seals: u64,
+    /// Slots processed.
+    pub(crate) slots: u64,
 }
 
 /// Per-channel worker-side state.
@@ -272,7 +292,9 @@ fn worker_loop(
     chan_ids: Vec<usize>,
     shared: &Shared,
     p: Params,
-) -> Vec<(usize, MemoryController)> {
+) -> (Vec<(usize, MemoryController)>, WorkerSpans) {
+    let loop_start = p.spans.then(std::time::Instant::now);
+    let mut spans = WorkerSpans::default();
     let mut st: Vec<ChanState> = chan_ids
         .iter()
         .map(|&chan| ChanState {
@@ -334,9 +356,20 @@ fn worker_loop(
     let mut slot_idx: u64 = 0;
     let mut cycle: Cycle = 0;
     while cycle < p.total {
-        wait_until(&shared.aborted, shared.spin, "watermark", || {
-            shared.watermark.load(Ordering::Acquire) >= cycle
-        });
+        // Time the wait only when spans are on *and* we would actually
+        // block — the fast path costs one extra atomic load, no clock.
+        if p.spans && shared.watermark.load(Ordering::Acquire) < cycle {
+            let t0 = std::time::Instant::now();
+            wait_until(&shared.aborted, shared.spin, "watermark", || {
+                shared.watermark.load(Ordering::Acquire) >= cycle
+            });
+            spans.spin_ns += t0.elapsed().as_nanos() as u64;
+            spans.spin_waits += 1;
+        } else {
+            wait_until(&shared.aborted, shared.spin, "watermark", || {
+                shared.watermark.load(Ordering::Acquire) >= cycle
+            });
+        }
         for i in 0..ctrls.len() {
             st[i].taken += shared.chans[st[i].chan].take_into(st[i].taken, &mut st[i].pending);
             // Replay sealed enqueues: everything the coordinator emitted
@@ -368,9 +401,14 @@ fn worker_loop(
             }
         }
         if !batch.is_empty() {
+            let t0 = p.spans.then(std::time::Instant::now);
             pushed_total += batch.len() as u64;
             me.comps.lock().append(&mut batch);
             me.comps_pushed.store(pushed_total, Ordering::Release);
+            if let Some(t0) = t0 {
+                spans.seal_ns += t0.elapsed().as_nanos() as u64;
+                spans.seals += 1;
+            }
         }
         if w == 0 && p.test_stall == Some(slot_idx) {
             // Wedge here without sealing the slot; the coordinator's
@@ -388,9 +426,18 @@ fn worker_loop(
     // counters exactly as the sequential loop applies them; then fire any
     // snapshot point at the very end of the run (e.g. an epoch boundary
     // at `total`), then fold idle-skip accounting back in.
-    wait_until(&shared.aborted, shared.spin, "final watermark", || {
-        shared.watermark.load(Ordering::Acquire) >= p.total
-    });
+    if p.spans && shared.watermark.load(Ordering::Acquire) < p.total {
+        let t0 = std::time::Instant::now();
+        wait_until(&shared.aborted, shared.spin, "final watermark", || {
+            shared.watermark.load(Ordering::Acquire) >= p.total
+        });
+        spans.spin_ns += t0.elapsed().as_nanos() as u64;
+        spans.spin_waits += 1;
+    } else {
+        wait_until(&shared.aborted, shared.spin, "final watermark", || {
+            shared.watermark.load(Ordering::Acquire) >= p.total
+        });
+    }
     for i in 0..ctrls.len() {
         st[i].taken += shared.chans[st[i].chan].take_into(st[i].taken, &mut st[i].pending);
         while let Some(op) = st[i].pending.pop_front() {
@@ -407,7 +454,11 @@ fn worker_loop(
     }
     me.done.store(DONE_FINAL, Ordering::Release);
 
-    chan_ids.into_iter().zip(ctrls).collect()
+    spans.slots = slot_idx;
+    if let Some(t0) = loop_start {
+        spans.total_ns = t0.elapsed().as_nanos() as u64;
+    }
+    (chan_ids.into_iter().zip(ctrls).collect(), spans)
 }
 
 /// An epoch row the coordinator has opened but cannot finish until every
@@ -455,6 +506,11 @@ struct Coord<'a> {
     /// on a value the coordinator publishes, so a wedged worker always
     /// surfaces as a coordinator-side timeout.
     watchdog: Option<std::time::Duration>,
+    /// Fine-grained span accounting (see [`Params::spans`]).
+    spans: bool,
+    /// Wall time spent blocked in [`Coord::drain_worker`].
+    wait_ns: u64,
+    waits: u64,
 }
 
 impl Coord<'_> {
@@ -507,6 +563,10 @@ impl Coord<'_> {
             return;
         }
         let done = &self.shared.workers[w].done;
+        // Time the wait only when spans are on and the worker is actually
+        // behind; the satisfied-at-spin-speed path never reads the clock.
+        let t0 =
+            (self.spans && done.load(Ordering::Acquire) < through).then(std::time::Instant::now);
         // Re-arm the deadline whenever the worker seals *something*: the
         // watchdog detects absence of progress, not slowness.
         let mut last_seen = done.load(Ordering::Acquire);
@@ -527,6 +587,10 @@ impl Coord<'_> {
                 continue;
             }
             std::panic::panic_any(ShardStallPanic(self.stall_diagnostics(w, through)));
+        }
+        if let Some(t0) = t0 {
+            self.wait_ns += t0.elapsed().as_nanos() as u64;
+            self.waits += 1;
         }
         // Everything pushed before the observed `done` is visible once we
         // take the mailbox lock; batches from an even newer slot may ride
@@ -640,7 +704,7 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
     ctrls: Vec<MemoryController>,
     integrator: &PowerIntegrator,
     timeline: &mut Option<Timeline>,
-    timer: &mut PhaseTimer,
+    tracer: &mut SpanTracer,
     workers: usize,
 ) -> Result<DriveOutput, Box<ShardDiagnostics>> {
     let channels = ctrls.len();
@@ -651,6 +715,7 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
         warmup: cfg.warmup_cycles,
         epoch_cycles: cfg.telemetry.map_or(0, |tc| tc.epoch_cycles),
         test_stall: cfg.test_stall_shard,
+        spans: cfg.spans,
     };
     debug_assert!(cfg.cmp.noc_latency >= p.stride, "dispatcher invariant");
     let map = ctrls[0].map().clone();
@@ -733,7 +798,12 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
                 warmup: cfg.warmup_cycles,
                 watchdog: (cfg.watchdog_timeout_ms > 0)
                     .then(|| std::time::Duration::from_millis(cfg.watchdog_timeout_ms)),
+                spans: p.spans,
+                wait_ns: 0,
+                waits: 0,
             };
+            let drive_start_ns = tracer.now_ns();
+            tracer.enter("warmup");
 
             let mut committed_at_warmup = 0u64;
             let mut per_core_at_warmup: Vec<u64> = vec![0; cfg.cmp.cores];
@@ -826,7 +896,8 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
                 }
                 while now < phase_end {
                     if now == cfg.warmup_cycles {
-                        timer.mark("warmup");
+                        tracer.exit(); // warmup
+                        tracer.enter("measure");
                         committed_at_warmup = cmp.total_committed();
                         for (i, c) in per_core_at_warmup.iter_mut().enumerate() {
                             *c = cmp.core(i).stats.committed;
@@ -877,19 +948,46 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
                 timeline,
             );
             assert!(pending_rows.is_empty(), "unfinished epoch rows");
-            timer.mark("measure");
+            tracer.exit(); // measure
 
             // Reassemble controllers in channel order and fold in the warmup
             // snapshots.
             let mut slots: Vec<Option<MemoryController>> = (0..channels).map(|_| None).collect();
+            let mut worker_spans: Vec<WorkerSpans> = Vec::with_capacity(workers);
             for h in handles {
                 match h.join() {
-                    Ok(pairs) => {
+                    Ok((pairs, spans)) => {
                         for (chan, c) in pairs {
                             slots[chan] = Some(c);
                         }
+                        worker_spans.push(spans);
                     }
                     Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+
+            // Graft the measured coordinator/worker breakdown into the span
+            // tree (under the caller's open `drive` span). Coordinator busy
+            // time is the drive wall minus its drain waits; worker work is
+            // the loop total minus spin-waits and mailbox seals.
+            if p.spans {
+                let drive_ns = tracer.now_ns().saturating_sub(drive_start_ns);
+                tracer.enter("coordinator");
+                tracer.set_start_ns(drive_start_ns);
+                tracer.add_ns("drain-wait", coord.wait_ns, coord.waits);
+                tracer.exit_with_ns(drive_ns.saturating_sub(coord.wait_ns));
+                for (w, ws) in worker_spans.iter().enumerate() {
+                    tracer.enter(&format!("worker-{w}"));
+                    tracer.set_lane((w + 1) as u16);
+                    tracer.set_start_ns(drive_start_ns);
+                    tracer.add_ns(
+                        "work",
+                        ws.total_ns.saturating_sub(ws.spin_ns + ws.seal_ns),
+                        ws.slots,
+                    );
+                    tracer.add_ns("spin-wait", ws.spin_ns, ws.spin_waits);
+                    tracer.add_ns("mailbox-seal", ws.seal_ns, ws.seals);
+                    tracer.exit_with_ns(ws.total_ns);
                 }
             }
             let ctrls: Vec<MemoryController> = slots

@@ -17,8 +17,10 @@ use microbank_energy::energy::EnergyModel;
 use microbank_energy::params::EnergyParams;
 use microbank_energy::power::{MemoryEnergy, PowerIntegrator};
 use microbank_faults::{FaultConfig, FaultSummary};
+use microbank_telemetry::span::SpanRow;
 use microbank_telemetry::{
-    mcycles_per_sec, CmdRecord, HeatCounters, PhaseTimer, TelemetryConfig, Timeline,
+    event, mcycles_per_sec, CmdRecord, HeatCounters, Level, MetricKind, MetricsRegistry,
+    SpanTracer, TelemetryConfig, Timeline,
 };
 use microbank_workloads::suite::{build_sources, Workload};
 use serde::Serialize;
@@ -64,6 +66,14 @@ pub struct SimConfig {
     /// microseconds, so only a genuine deadlock or livelock can spend a
     /// minute sealing nothing.
     pub watchdog_timeout_ms: u64,
+    /// Fine-grained harness span tracing: the sequential drive times its
+    /// controller ticks, sharded workers time their spin-waits and
+    /// mailbox seals, and the coordinator its drain waits — all exported
+    /// on [`RunProfile::spans`]. Off (the default), a run only records
+    /// the coarse setup/drive/artifact phases. Spans observe wall time
+    /// but never feed back into the simulated machine, so results are
+    /// bit-identical with tracing on or off.
+    pub spans: bool,
     /// Test hook: make shard worker 0 stop sealing slots at this stride
     /// slot, simulating a wedged worker so the watchdog path can be
     /// exercised deterministically. Never set outside tests.
@@ -88,6 +98,7 @@ impl SimConfig {
             faults: None,
             threads: None,
             watchdog_timeout_ms: 60_000,
+            spans: false,
             test_stall_shard: None,
         }
     }
@@ -130,6 +141,12 @@ impl SimConfig {
     /// Set the sharded drive's progress deadline (0 disables it).
     pub fn with_watchdog_timeout_ms(mut self, ms: u64) -> Self {
         self.watchdog_timeout_ms = ms;
+        self
+    }
+
+    /// Enable fine-grained harness span tracing (see [`SimConfig::spans`]).
+    pub fn with_spans(mut self, on: bool) -> Self {
+        self.spans = on;
         self
     }
 
@@ -205,9 +222,13 @@ impl SimConfig {
 }
 
 /// Wall-clock self-profile of one run: how long the *simulator* spent in
-/// each phase, and its simulated-cycles-per-second throughput. Tracked on
-/// every run (three `Instant::now` calls) so harness slowdowns show up in
-/// result artifacts, not just simulated slowdowns.
+/// each phase, and its simulated-cycles-per-second throughput. The coarse
+/// phases (setup/warmup/measure/artifact) are tracked on every run — a
+/// handful of `Instant::now` calls — so harness slowdowns show up in
+/// result artifacts, not just simulated slowdowns. With
+/// [`SimConfig::spans`] the span tree additionally carries the measured
+/// coordinator/worker (sharded) or controller-tick (sequential)
+/// breakdown.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct RunProfile {
     pub setup_secs: f64,
@@ -216,6 +237,12 @@ pub struct RunProfile {
     pub total_secs: f64,
     /// Simulated megacycles per wall-second over the cycle loop.
     pub sim_mcycles_per_sec: f64,
+    /// Flattened harness span tree (depth-first). Always contains the
+    /// coarse phases; with [`SimConfig::spans`] also the fine-grained
+    /// breakdown. Export via `microbank_telemetry::span::rows_to_json`
+    /// or merge into a Chrome trace with
+    /// `microbank_telemetry::trace::to_chrome_json_with_spans`.
+    pub spans: Vec<SpanRow>,
 }
 
 /// Telemetry collected by an instrumented run, all restricted to the
@@ -366,6 +393,111 @@ impl SimResult {
             self.core_energy_nj * 1e-9 / seconds
         }
     }
+
+    /// Export this run's headline counters into a [`MetricsRegistry`]
+    /// (for `/metrics` scraping during sweeps). `extra_labels` is merged
+    /// into every series alongside the workload label. Counters add (a
+    /// sweep accumulates), gauges overwrite, and the read-latency
+    /// histogram bulk-feeds its power-of-two cycle buckets.
+    pub fn record_metrics(&self, reg: &MetricsRegistry, extra_labels: &[(&str, &str)]) {
+        let mut labels: Vec<(&str, &str)> = vec![("workload", &self.label)];
+        labels.extend_from_slice(extra_labels);
+        reg.register(
+            "microbank_sim_cycles_total",
+            MetricKind::Counter,
+            "Simulated CPU cycles (warmup + measure)",
+        );
+        reg.counter_add("microbank_sim_cycles_total", &labels, self.cycles);
+        reg.register(
+            "microbank_sim_committed_instructions_total",
+            MetricKind::Counter,
+            "Instructions committed over the measured window",
+        );
+        reg.counter_add(
+            "microbank_sim_committed_instructions_total",
+            &labels,
+            self.committed,
+        );
+        reg.register(
+            "microbank_dram_commands_total",
+            MetricKind::Counter,
+            "DRAM commands issued over the measured window, by kind",
+        );
+        for (cmd, n) in [
+            ("act", self.dram.activates),
+            ("pre", self.dram.precharges),
+            ("rd", self.dram.reads),
+            ("wr", self.dram.writes),
+            ("ref", self.dram.refreshes),
+            ("scrub", self.dram.scrubs),
+        ] {
+            let mut l = labels.clone();
+            l.push(("cmd", cmd));
+            reg.counter_add("microbank_dram_commands_total", &l, n);
+        }
+        reg.register(
+            "microbank_sim_ipc",
+            MetricKind::Gauge,
+            "System IPC (sum over cores) of the latest run",
+        );
+        reg.gauge_set("microbank_sim_ipc", &labels, self.ipc);
+        reg.register(
+            "microbank_sim_row_hit_rate",
+            MetricKind::Gauge,
+            "Row-buffer hit rate of the latest run",
+        );
+        reg.gauge_set("microbank_sim_row_hit_rate", &labels, self.row_hit_rate);
+        reg.register(
+            "microbank_sim_mem_power_watts",
+            MetricKind::Gauge,
+            "Total memory power of the latest run",
+        );
+        reg.gauge_set(
+            "microbank_sim_mem_power_watts",
+            &labels,
+            self.memory_power_w().total_w(),
+        );
+        // Read-latency distribution: the simulator already aggregates into
+        // power-of-two cycle buckets, so feed each bucket's upper bound in
+        // bulk rather than replaying every request.
+        let bounds: Vec<f64> = (0..24).map(|i| (1u64 << i) as f64).collect();
+        reg.register_histogram(
+            "microbank_sim_read_latency_cycles",
+            "Main-memory read latency (enqueue to data), CPU cycles",
+            &bounds,
+        );
+        for (bound, n) in self.read_latency_hist.nonzero_buckets() {
+            reg.observe_n(
+                "microbank_sim_read_latency_cycles",
+                &labels,
+                bound as f64,
+                n,
+            );
+        }
+        if let Some(f) = &self.reliability {
+            reg.register(
+                "microbank_reliability_events_total",
+                MetricKind::Counter,
+                "Reliability-subsystem event counts, by kind",
+            );
+            for (kind, n) in [
+                ("reads_checked", f.reads_checked),
+                ("scrub_checks", f.scrub_checks),
+                ("corrected", f.corrected),
+                ("corrected_hard", f.corrected_hard),
+                ("detected", f.detected),
+                ("miscorrected", f.miscorrected),
+                ("retries", f.retries),
+                ("retired_rows", f.retired_rows),
+                ("retired_ubanks", f.retired_ubanks),
+                ("retire_refused", f.retire_refused),
+            ] {
+                let mut l = labels.clone();
+                l.push(("kind", kind));
+                reg.counter_add("microbank_reliability_events_total", &l, n);
+            }
+        }
+    }
 }
 
 /// Enqueue-time store for latency accounting. Request ids come from one
@@ -497,8 +629,17 @@ fn try_run_full(cfg: &SimConfig) -> Result<(SimResult, Option<TelemetryReport>),
     match run_attempt(cfg, None) {
         Ok(out) => Ok(out),
         Err(diag) => {
-            eprintln!(
-                "microbank-sim: sharded drive stalled; retrying on the sequential loop\n  {diag}"
+            event::emit(
+                Level::Warn,
+                "sim::shard",
+                "sharded drive stalled; retrying on the sequential loop",
+                &[
+                    ("workload", cfg.workload.label().into()),
+                    ("stalled_worker", diag.stalled_worker.into()),
+                    ("waiting_for_slot", diag.waiting_for_slot.into()),
+                    ("timeout_ms", diag.timeout_ms.into()),
+                    ("diag", diag.to_string().into()),
+                ],
             );
             run_attempt(cfg, Some(SequentialReason::WatchdogRetry)).map_err(SimError::ShardStall)
         }
@@ -540,7 +681,8 @@ fn run_attempt(
     cfg: &SimConfig,
     force_sequential: Option<SequentialReason>,
 ) -> Result<(SimResult, Option<TelemetryReport>), Box<ShardDiagnostics>> {
-    let mut timer = PhaseTimer::new();
+    let mut tracer = SpanTracer::new();
+    tracer.enter("setup");
     let capacity = cfg.mem.capacity_bytes();
     let sources = build_sources(cfg.workload, cfg.cmp.cores, capacity, cfg.seed);
     let mut cmp = CmpSystem::new(cfg.cmp, sources);
@@ -594,7 +736,8 @@ fn run_attempt(
         let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
         Timeline::new(tc.epoch_cycles, &refs)
     });
-    timer.mark("setup");
+    tracer.exit(); // setup
+    tracer.enter("drive");
 
     // Dispatch: the classic single-threaded loop, or the channel-sharded
     // drive (bit-identical by construction; see `crate::shard`). Sharding
@@ -612,7 +755,14 @@ fn run_attempt(
     };
     let (out, drive) = match sequential_reason {
         Some(reason) => (
-            drive_sequential(cfg, &mut cmp, ctrls, &integrator, &mut timeline, &mut timer),
+            drive_sequential(
+                cfg,
+                &mut cmp,
+                ctrls,
+                &integrator,
+                &mut timeline,
+                &mut tracer,
+            ),
             DriveMode::Sequential { reason },
         ),
         None => {
@@ -623,12 +773,14 @@ fn run_attempt(
                 ctrls,
                 &integrator,
                 &mut timeline,
-                &mut timer,
+                &mut tracer,
                 workers,
             )?;
             (out, DriveMode::Sharded { workers })
         }
     };
+    tracer.exit(); // drive
+    tracer.enter("artifact");
     let DriveOutput {
         ctrls,
         committed_at_warmup,
@@ -703,17 +855,19 @@ fn run_attempt(
         }
     });
 
-    let warmup_secs = timer.seconds("warmup");
-    let measure_secs = timer.seconds("measure");
+    tracer.exit(); // artifact
+    let warmup_secs = tracer.seconds("warmup");
+    let measure_secs = tracer.seconds("measure");
     let profile = RunProfile {
-        setup_secs: timer.seconds("setup"),
+        setup_secs: tracer.seconds("setup"),
         warmup_secs,
         measure_secs,
-        total_secs: timer.total(),
+        total_secs: tracer.total_secs(),
         sim_mcycles_per_sec: mcycles_per_sec(
             cfg.warmup_cycles + cfg.measure_cycles,
             warmup_secs + measure_secs,
         ),
+        spans: tracer.rows(),
     };
 
     let result = SimResult {
@@ -775,9 +929,16 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
     mut ctrls: Vec<MemoryController>,
     integrator: &PowerIntegrator,
     timeline: &mut Option<Timeline>,
-    timer: &mut PhaseTimer,
+    tracer: &mut SpanTracer,
 ) -> DriveOutput {
     let epoch_cycles = cfg.telemetry.map_or(0, |tc| tc.epoch_cycles);
+    // Fine-grained accounting (cfg.spans): wall time inside the
+    // controller-tick block vs the rest of the loop. Two clock reads per
+    // ctrl slot when enabled, none when disabled; either way nothing
+    // simulated can observe the clock.
+    let fine = cfg.spans;
+    let mut ctrl_ns: u64 = 0;
+    let mut ctrl_ticks: u64 = 0;
     let mut epoch_stats = DramStats::default();
     let mut epoch_committed = 0u64;
 
@@ -805,9 +966,11 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
     let mut ctrl_wake: Vec<Cycle> = vec![0; ctrls.len()];
     let mut ctrl_skipped: Vec<u64> = vec![0; ctrls.len()];
 
+    tracer.enter("warmup");
     for now in 0..total {
         if now == cfg.warmup_cycles {
-            timer.mark("warmup");
+            tracer.exit(); // warmup
+            tracer.enter("measure");
             committed_at_warmup = cmp.total_committed();
             for (i, c) in per_core_at_warmup.iter_mut().enumerate() {
                 *c = cmp.core(i).stats.committed;
@@ -835,6 +998,7 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
         // that proved itself idle sleeps until its wake cycle (or until an
         // enqueue resets it — see `TrackingRouter::submit`).
         if now % cfg.ctrl_stride == 0 {
+            let t0 = fine.then(std::time::Instant::now);
             for (i, c) in ctrls.iter_mut().enumerate() {
                 if ctrl_wake[i] > now {
                     ctrl_skipped[i] += 1;
@@ -867,6 +1031,10 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
                         id: comp.id,
                     });
                 }
+            }
+            if let Some(t0) = t0 {
+                ctrl_ns += t0.elapsed().as_nanos() as u64;
+                ctrl_ticks += 1;
             }
         }
         // Deliver due fills to the CMP.
@@ -925,7 +1093,15 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
                 .push(now + 1, row);
         }
     }
-    timer.mark("measure");
+    tracer.exit(); // measure
+
+    // Attribute the drive wall between controller ticks and everything
+    // else (cores, NoC, fill delivery) under the caller's `drive` span.
+    if fine {
+        let drive_ns = ((tracer.seconds("warmup") + tracer.seconds("measure")) * 1e9) as u64;
+        tracer.add_ns("ctrl-tick", ctrl_ns, ctrl_ticks);
+        tracer.add_ns("cpu-and-noc", drive_ns.saturating_sub(ctrl_ns), 1);
+    }
 
     // Fold skipped idle slots back into controller stats so occupancy
     // accounting is identical to per-cycle ticking.

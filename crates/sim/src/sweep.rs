@@ -26,7 +26,10 @@ use crate::report::Table;
 use crate::simulator::{panic_message, try_run, SimConfig, SimResult};
 use microbank_telemetry::artifact::atomic_write;
 use microbank_telemetry::json::{self, JsonWriter};
+use microbank_telemetry::{event, Level, MetricsRegistry, StatusServer, StatusShared};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One unit of sweep work: a stable identifier (the manifest key, also
 /// used as the row label) and the configuration to run.
@@ -59,9 +62,25 @@ pub struct SlotRecord {
     /// True when this record was satisfied from a prior run's manifest
     /// instead of executed in this invocation.
     pub resumed: bool,
+    /// Wall seconds this invocation spent executing the slot (0 for
+    /// resumed records). Observability only — never persisted to the
+    /// manifest, so resumed and uninterrupted sweeps stay byte-identical.
+    pub secs: f64,
 }
 
 /// Executes sweep slots with isolation, retry, and manifest-based resume.
+///
+/// # Observability
+///
+/// Every processed slot atomically rewrites `<dir>/<name>.status.json`
+/// (per-slot states, ETA, throughput) and updates a [`MetricsRegistry`].
+/// When `MICROBANK_STATUS_ADDR` is set (or [`serve_status`] is called),
+/// both are additionally served live over HTTP at `/status` and
+/// `/metrics` for the duration of the runner. The status surface is
+/// best-effort and read-only: it cannot fail the sweep, and it cannot
+/// change any simulated result or sweep artifact.
+///
+/// [`serve_status`]: SweepRunner::serve_status
 pub struct SweepRunner {
     name: String,
     dir: PathBuf,
@@ -69,6 +88,10 @@ pub struct SweepRunner {
     records: Vec<SlotRecord>,
     /// Records loaded from a prior manifest, consulted for resume.
     prior: Vec<SlotRecord>,
+    metrics: Arc<MetricsRegistry>,
+    status_shared: Option<Arc<StatusShared>>,
+    /// Owned so the endpoint stays up as long as the runner lives.
+    server: Option<StatusServer>,
     /// Test hook: abort (like a crash) after this many *executed* slots.
     #[doc(hidden)]
     pub kill_after: Option<usize>,
@@ -78,20 +101,75 @@ impl SweepRunner {
     /// A runner for sweep `name` writing under `dir`. Loads the prior
     /// manifest if one exists; an unreadable or malformed manifest is
     /// treated as absent (every slot re-executes — safe, just slower).
+    /// If `MICROBANK_STATUS_ADDR` is set, the status endpoint is served
+    /// there (a bind failure logs a warning and the sweep proceeds).
     pub fn new(name: impl Into<String>, dir: impl Into<PathBuf>) -> Self {
         let mut r = SweepRunner {
             name: name.into(),
             dir: dir.into(),
             records: Vec::new(),
             prior: Vec::new(),
+            metrics: Arc::new(MetricsRegistry::new()),
+            status_shared: None,
+            server: None,
             kill_after: None,
         };
         r.prior = r.load_manifest().unwrap_or_default();
+        if let Ok(addr) = std::env::var("MICROBANK_STATUS_ADDR") {
+            if let Err(e) = r.serve_status(&addr) {
+                event::emit(
+                    Level::Warn,
+                    "sim::sweep",
+                    "could not bind MICROBANK_STATUS_ADDR; continuing without endpoint",
+                    &[
+                        ("addr", addr.as_str().into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
+            }
+        }
         r
+    }
+
+    /// Serve `/status` and `/metrics` on `addr` (`127.0.0.1:0` picks an
+    /// ephemeral port; see [`status_addr`](Self::status_addr)) until the
+    /// runner is dropped.
+    pub fn serve_status(&mut self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        let shared = StatusShared::new(Arc::clone(&self.metrics));
+        let server = StatusServer::start(addr, Arc::clone(&shared))?;
+        let bound = server.local_addr();
+        event::emit(
+            Level::Info,
+            "sim::sweep",
+            "status endpoint listening",
+            &[
+                ("sweep", self.name.as_str().into()),
+                ("addr", bound.to_string().into()),
+            ],
+        );
+        self.status_shared = Some(shared);
+        self.server = Some(server);
+        Ok(bound)
+    }
+
+    /// Address the status endpoint is bound to, when serving.
+    pub fn status_addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.as_ref().map(|s| s.local_addr())
+    }
+
+    /// The metrics registry this runner feeds (shareable; also exposed
+    /// at `/metrics` when serving).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
     }
 
     pub fn manifest_path(&self) -> PathBuf {
         self.dir.join(format!("{}.manifest.json", self.name))
+    }
+
+    /// Live progress artifact, atomically rewritten after every slot.
+    pub fn status_path(&self) -> PathBuf {
+        self.dir.join(format!("{}.status.json", self.name))
     }
 
     /// Records produced so far this invocation (one per processed slot).
@@ -100,11 +178,12 @@ impl SweepRunner {
     }
 
     /// FNV-1a over the config's `Debug` rendering, with the fields that
-    /// cannot change results (thread count, test hooks) normalized out so
-    /// a resume on a different machine still matches.
+    /// cannot change results (thread count, span tracing, test hooks)
+    /// normalized out so a resume on a different machine still matches.
     fn config_fingerprint(cfg: &SimConfig) -> String {
         let mut c = cfg.clone();
         c.threads = None;
+        c.spans = false;
         c.test_stall_shard = None;
         let rendered = format!("{c:?}");
         let mut h = 0xcbf29ce484222325u64;
@@ -127,7 +206,22 @@ impl SweepRunner {
         slots: &[SweepSlot],
         project: impl Fn(&SimResult) -> Vec<f64>,
     ) -> Result<Vec<SlotRecord>, SimError> {
+        let sweep_start = Instant::now();
+        event::emit(
+            Level::Info,
+            "sim::sweep",
+            "sweep starting",
+            &[
+                ("sweep", self.name.as_str().into()),
+                ("slots", slots.len().into()),
+                ("prior_records", self.prior.len().into()),
+            ],
+        );
         let mut executed = 0usize;
+        // Seed the progress gauges before the first slot so an early
+        // scrape already sees the sweep family (at zero).
+        self.note_slot_metrics(sweep_start);
+        self.publish_status(slots, sweep_start, None);
         for slot in slots {
             let fp = Self::config_fingerprint(&slot.cfg);
             let prior_hit = self
@@ -135,10 +229,22 @@ impl SweepRunner {
                 .iter()
                 .find(|r| r.id == slot.id && r.config_fp == fp && r.status == SlotStatus::Ok);
             if let Some(prev) = prior_hit {
+                event::emit(
+                    Level::Debug,
+                    "sim::sweep",
+                    "slot resumed from manifest",
+                    &[
+                        ("sweep", self.name.as_str().into()),
+                        ("slot", slot.id.as_str().into()),
+                    ],
+                );
                 let mut rec = prev.clone();
                 rec.resumed = true;
+                rec.secs = 0.0;
                 self.records.push(rec);
                 self.write_manifest()?;
+                self.note_slot_metrics(sweep_start);
+                self.publish_status(slots, sweep_start, None);
                 continue;
             }
             if let Some(k) = self.kill_after {
@@ -151,6 +257,8 @@ impl SweepRunner {
                     });
                 }
             }
+            self.publish_status(slots, sweep_start, Some(&slot.id));
+            let slot_start = Instant::now();
             let attempt = || {
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| try_run(&slot.cfg)))
                     .unwrap_or_else(|p| {
@@ -164,38 +272,217 @@ impl SweepRunner {
             let retryable =
                 matches!(&outcome, Err(e) if !matches!(e, SimError::InvalidConfig { .. }));
             if retryable {
-                eprintln!(
-                    "microbank-sim: sweep '{}' slot '{}' failed; retrying once",
-                    self.name, slot.id
+                let rendered = match &outcome {
+                    Err(e) => e.to_string(),
+                    Ok(_) => unreachable!("retryable implies Err"),
+                };
+                event::emit(
+                    Level::Warn,
+                    "sim::sweep",
+                    "slot failed; retrying once",
+                    &[
+                        ("sweep", self.name.as_str().into()),
+                        ("slot", slot.id.as_str().into()),
+                        ("attempt", 1u64.into()),
+                        ("error", rendered.into()),
+                    ],
                 );
+                self.metrics
+                    .counter_add("microbank_sweep_slot_retries_total", &[], 1);
                 attempts = 2;
                 outcome = attempt();
             }
             executed += 1;
+            let secs = slot_start.elapsed().as_secs_f64();
             let rec = match outcome {
-                Ok(result) => SlotRecord {
-                    id: slot.id.clone(),
-                    config_fp: fp,
-                    status: SlotStatus::Ok,
-                    attempts,
-                    error: None,
-                    values: project(&result),
-                    resumed: false,
-                },
-                Err(e) => SlotRecord {
-                    id: slot.id.clone(),
-                    config_fp: fp,
-                    status: SlotStatus::Failed,
-                    attempts,
-                    error: Some(e.to_string()),
-                    values: Vec::new(),
-                    resumed: false,
-                },
+                Ok(result) => {
+                    result.record_metrics(&self.metrics, &[("slot", slot.id.as_str())]);
+                    event::emit(
+                        Level::Debug,
+                        "sim::sweep",
+                        "slot completed",
+                        &[
+                            ("sweep", self.name.as_str().into()),
+                            ("slot", slot.id.as_str().into()),
+                            ("attempts", u64::from(attempts).into()),
+                            ("secs", secs.into()),
+                        ],
+                    );
+                    SlotRecord {
+                        id: slot.id.clone(),
+                        config_fp: fp,
+                        status: SlotStatus::Ok,
+                        attempts,
+                        error: None,
+                        values: project(&result),
+                        resumed: false,
+                        secs,
+                    }
+                }
+                Err(e) => {
+                    event::emit(
+                        Level::Error,
+                        "sim::sweep",
+                        "slot failed permanently",
+                        &[
+                            ("sweep", self.name.as_str().into()),
+                            ("slot", slot.id.as_str().into()),
+                            ("attempts", u64::from(attempts).into()),
+                            ("error", e.to_string().into()),
+                        ],
+                    );
+                    SlotRecord {
+                        id: slot.id.clone(),
+                        config_fp: fp,
+                        status: SlotStatus::Failed,
+                        attempts,
+                        error: Some(e.to_string()),
+                        values: Vec::new(),
+                        resumed: false,
+                        secs,
+                    }
+                }
             };
+            self.metrics
+                .observe("microbank_sweep_slot_seconds", &[], secs);
             self.records.push(rec);
             self.write_manifest()?;
+            self.note_slot_metrics(sweep_start);
+            self.publish_status(slots, sweep_start, None);
         }
+        event::emit(
+            Level::Info,
+            "sim::sweep",
+            "sweep finished",
+            &[
+                ("sweep", self.name.as_str().into()),
+                ("slots", slots.len().into()),
+                ("executed", executed.into()),
+                ("secs", sweep_start.elapsed().as_secs_f64().into()),
+            ],
+        );
         Ok(self.records.clone())
+    }
+
+    /// Refresh the sweep-progress metric family from `self.records`.
+    fn note_slot_metrics(&self, sweep_start: Instant) {
+        let done = self.records.len() as f64;
+        let ok = self
+            .records
+            .iter()
+            .filter(|r| r.status == SlotStatus::Ok && !r.resumed)
+            .count();
+        let failed = self
+            .records
+            .iter()
+            .filter(|r| r.status == SlotStatus::Failed)
+            .count();
+        let resumed = self.records.iter().filter(|r| r.resumed).count();
+        let m = &self.metrics;
+        m.register(
+            "microbank_sweep_slots_done",
+            microbank_telemetry::MetricKind::Gauge,
+            "Slots processed so far (executed or resumed)",
+        );
+        m.gauge_set("microbank_sweep_slots_done", &[], done);
+        m.gauge_set(
+            "microbank_sweep_elapsed_seconds",
+            &[],
+            sweep_start.elapsed().as_secs_f64(),
+        );
+        for (outcome, n) in [("ok", ok), ("failed", failed), ("resumed", resumed)] {
+            m.gauge_set(
+                "microbank_sweep_slots",
+                &[("sweep", self.name.as_str()), ("outcome", outcome)],
+                n as f64,
+            );
+        }
+    }
+
+    /// Atomically rewrite `<dir>/<name>.status.json` and push the same
+    /// document to the HTTP endpoint (when serving). Best-effort: status
+    /// is observation, so I/O failures here never fail the sweep.
+    fn publish_status(&self, slots: &[SweepSlot], sweep_start: Instant, running: Option<&str>) {
+        let json = self.render_status(slots, sweep_start, running);
+        let _ = atomic_write(self.status_path(), &json);
+        if let Some(shared) = &self.status_shared {
+            shared.set_status_json(json);
+        }
+    }
+
+    /// Render the live progress document: per-slot states, wall-clock
+    /// progress, throughput, and an ETA extrapolated from the mean
+    /// executed-slot time (resumed slots are free and excluded).
+    fn render_status(
+        &self,
+        slots: &[SweepSlot],
+        sweep_start: Instant,
+        running: Option<&str>,
+    ) -> String {
+        let elapsed = sweep_start.elapsed().as_secs_f64();
+        let done = self.records.len();
+        let failed = self
+            .records
+            .iter()
+            .filter(|r| r.status == SlotStatus::Failed)
+            .count();
+        let resumed = self.records.iter().filter(|r| r.resumed).count();
+        let exec_secs: f64 = self.records.iter().map(|r| r.secs).sum();
+        let executed = done - resumed;
+        let remaining = slots
+            .len()
+            .saturating_sub(done + usize::from(running.is_some()));
+        let eta = if executed > 0 {
+            Some(exec_secs / executed as f64 * (remaining + usize::from(running.is_some())) as f64)
+        } else {
+            None
+        };
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("sweep").string(&self.name);
+        w.key("total_slots").uint(slots.len() as u64);
+        w.key("done").uint(done as u64);
+        w.key("executed").uint(executed as u64);
+        w.key("resumed").uint(resumed as u64);
+        w.key("failed").uint(failed as u64);
+        w.key("elapsed_secs").num(elapsed);
+        match eta {
+            Some(eta) => w.key("eta_secs").num(eta),
+            None => w.key("eta_secs").null(),
+        };
+        w.key("slots_per_sec").num(if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        });
+        match running {
+            Some(id) => w.key("running").string(id),
+            None => w.key("running").null(),
+        };
+        w.key("slots").begin_array();
+        for (i, slot) in slots.iter().enumerate() {
+            w.begin_object();
+            w.key("id").string(&slot.id);
+            let (state, rec) = match self.records.get(i) {
+                Some(r) if r.resumed => ("resumed", Some(r)),
+                Some(r) if r.status == SlotStatus::Ok => ("ok", Some(r)),
+                Some(r) => ("failed", Some(r)),
+                None if running == Some(slot.id.as_str()) => ("running", None),
+                None => ("pending", None),
+            };
+            w.key("state").string(state);
+            if let Some(r) = rec {
+                w.key("attempts").uint(u64::from(r.attempts));
+                w.key("secs").num(r.secs);
+                if let Some(e) = &r.error {
+                    w.key("error").string(e);
+                }
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
     }
 
     /// Atomically write `bytes` as `<dir>/<file_name>`.
@@ -270,6 +557,7 @@ impl SweepRunner {
                     .map(|v| v.as_f64())
                     .collect::<Option<Vec<f64>>>()?,
                 resumed: false,
+                secs: 0.0,
             });
         }
         Some(out)
@@ -294,6 +582,7 @@ mod tests {
         let mut threaded = base.clone();
         threaded.threads = Some(8);
         threaded.test_stall_shard = Some(3);
+        threaded.spans = true;
         assert_eq!(fp0, SweepRunner::config_fingerprint(&threaded));
         let mut different = base.clone();
         different.seed ^= 1;
@@ -315,6 +604,7 @@ mod tests {
                 error: None,
                 values: values.clone(),
                 resumed: false,
+                secs: 0.0,
             });
             r.write_manifest().unwrap();
         }

@@ -171,6 +171,46 @@ fn watchdog_retry_degrades_to_correct_sequential_run() {
     );
 }
 
+/// Observability under degradation: the watchdog-retry path must stay
+/// bit-identical with span tracing enabled — the rescue's tracer is
+/// rebuilt for the sequential attempt, and none of it may leak into
+/// simulated state.
+#[test]
+fn watchdog_retry_is_identical_with_span_tracing_enabled() {
+    let mut stalled = multi_channel_cfg().with_threads(2).with_spans(true);
+    stalled.watchdog_timeout_ms = 150;
+    stalled.test_stall_shard = Some(50);
+    let rescued = try_run(&stalled).expect("retry must rescue the traced run");
+    assert_eq!(
+        rescued.drive,
+        DriveMode::Sequential {
+            reason: SequentialReason::WatchdogRetry
+        }
+    );
+    let healthy = try_run(&multi_channel_cfg().with_threads(1)).unwrap();
+    assert_eq!(
+        golden_fingerprint(&rescued),
+        golden_fingerprint(&healthy),
+        "traced rescue must be bit-identical to a healthy sequential run"
+    );
+    // The rescue ran sequentially, so its fine spans are the sequential
+    // breakdown, not stale sharded rows from the failed attempt.
+    let paths: Vec<&str> = rescued
+        .profile
+        .spans
+        .iter()
+        .map(|s| s.path.as_str())
+        .collect();
+    assert!(
+        paths.contains(&"drive/ctrl-tick"),
+        "rescued traced run missing sequential spans: {paths:?}"
+    );
+    assert!(
+        !paths.iter().any(|p| p.contains("coordinator")),
+        "rescued run leaked sharded spans from the failed attempt: {paths:?}"
+    );
+}
+
 /// The validation ladder rejects a bad config with per-component
 /// diagnostics instead of panicking mid-construction.
 #[test]

@@ -191,6 +191,69 @@ fn single_channel_telemetry_survives_sharded_path() {
     assert_eq!(t1.trace, t2.trace);
 }
 
+/// Observability invariance: span tracing is wall-clock observation and
+/// must never feed back into simulated state. Every result field and
+/// every telemetry artifact (epoch series, heat maps, command trace)
+/// must be byte-identical with spans on vs. off, at 1 and 2 workers —
+/// and the span-traced runs must produce the fine-grained rows while
+/// the plain runs keep only the coarse phases.
+#[test]
+fn span_tracing_is_behavior_neutral_at_every_worker_count() {
+    let cfg = multi_channel_cfg().with_telemetry(TelemetryConfig::new(2_500, 4_096));
+    let (r_off, t_off) = run_instrumented(&cfg.clone().with_threads(1));
+    for workers in [1usize, 2] {
+        let on = cfg.clone().with_threads(workers).with_spans(true);
+        let (r_on, t_on) = run_instrumented(&on);
+        assert_results_identical(&r_off, &r_on, &format!("spans on, {workers} workers"));
+        assert_eq!(
+            t_off.timeline.to_csv(),
+            t_on.timeline.to_csv(),
+            "spans on, {workers} workers: epoch time-series diverged"
+        );
+        for (ch, (a, b)) in t_off.heat.iter().zip(&t_on.heat).enumerate() {
+            assert_eq!(
+                a.to_csv(),
+                b.to_csv(),
+                "spans on, {workers} workers: channel {ch} heat map diverged"
+            );
+        }
+        assert_eq!(
+            t_off.trace, t_on.trace,
+            "spans on, {workers} workers: command trace diverged"
+        );
+        // The traced run actually produced the fine breakdown.
+        let paths: Vec<&str> = r_on.profile.spans.iter().map(|s| s.path.as_str()).collect();
+        if workers == 1 {
+            assert!(
+                paths.contains(&"drive/ctrl-tick"),
+                "sequential traced run missing ctrl-tick span: {paths:?}"
+            );
+        } else {
+            assert!(
+                paths.contains(&"drive/coordinator"),
+                "sharded traced run missing coordinator span: {paths:?}"
+            );
+            assert!(
+                paths.iter().any(|p| p.starts_with("drive/worker-0/")),
+                "sharded traced run missing worker spans: {paths:?}"
+            );
+        }
+    }
+    // The untraced run keeps only the coarse phases.
+    assert!(
+        r_off
+            .profile
+            .spans
+            .iter()
+            .all(
+                |s| !["ctrl-tick", "cpu-and-noc", "coordinator"].contains(&s.name.as_str())
+                    && !s.name.starts_with("worker-")
+            ),
+        "untraced run leaked fine-grained spans: {:?}",
+        r_off.profile.spans
+    );
+}
+
 /// The hardened sweep runner: a bad configuration reports a typed `Err`
 /// in its own slot while the surviving runs still come back.
 #[test]

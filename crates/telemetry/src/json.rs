@@ -168,6 +168,18 @@ impl JsonWriter {
         self
     }
 
+    pub fn boolean(&mut self, v: bool) -> &mut Self {
+        self.pre_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    pub fn null(&mut self) -> &mut Self {
+        self.pre_value();
+        self.buf.push_str("null");
+        self
+    }
+
     pub fn finish(self) -> String {
         debug_assert!(self.need_comma.is_empty(), "unbalanced JSON writer");
         self.buf

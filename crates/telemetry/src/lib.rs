@@ -13,26 +13,47 @@
 //! * [`trace`] — [`trace::CmdTrace`]: a bounded ring buffer of issued DRAM
 //!   commands, exported as Chrome `trace_event` JSON for
 //!   `chrome://tracing`.
-//! * [`profile`] — [`profile::PhaseTimer`]: wall-clock self-profiling of
-//!   the harness (simulated Mcycles per wall-second).
+//! * [`span`] — [`span::SpanTracer`]: hierarchical wall-clock
+//!   self-profiling of the harness (setup/drive/artifact phases, and in
+//!   sharded runs the per-worker work/spin/seal breakdown).
+//! * [`metrics`] — [`metrics::MetricsRegistry`]: counters, gauges, and
+//!   histograms with Prometheus text exposition and JSON snapshots.
+//! * [`event`] — leveled structured event logging (`MICROBANK_LOG`),
+//!   human one-liners on stderr or JSONL.
+//! * [`status`] — [`status::StatusServer`]: a dependency-free blocking
+//!   HTTP listener serving `/status` and `/metrics` for a live sweep.
+//! * [`profile`] — [`profile::mcycles_per_sec`]: the harness-throughput
+//!   metric (simulated Mcycles per wall-second).
 //! * [`json`] — the minimal writer/parser backing the JSON exports.
 //! * [`artifact`] — [`artifact::atomic_write`]: temp-file + fsync + rename
 //!   writes, so a crash never leaves a truncated result artifact.
 //!
 //! All hot-path hooks are designed to sit behind an `Option<Box<…>>` on
-//! the owning component: disabled (the default) costs one branch.
+//! the owning component: disabled (the default) costs one branch. The
+//! observability layer as a whole is read-only with respect to the
+//! simulated machine: spans, metrics, events, and the status server
+//! observe wall-clock and counter state but never feed back, so enabling
+//! any of it cannot perturb golden fingerprints or telemetry artifacts.
 
 pub mod artifact;
+pub mod event;
 pub mod heat;
 pub mod json;
+pub mod metrics;
 pub mod profile;
 pub mod series;
+pub mod span;
+pub mod status;
 pub mod trace;
 
 pub use artifact::atomic_write;
+pub use event::Level;
 pub use heat::{ChannelTelemetry, HeatCounters};
-pub use profile::{mcycles_per_sec, PhaseTimer};
+pub use metrics::{MetricKind, MetricsRegistry};
+pub use profile::mcycles_per_sec;
 pub use series::Timeline;
+pub use span::{SpanRow, SpanTracer};
+pub use status::{StatusServer, StatusShared};
 pub use trace::{CmdKind, CmdRecord, CmdTrace};
 
 /// Knobs for enabling telemetry on a simulation run.

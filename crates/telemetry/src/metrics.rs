@@ -1,0 +1,692 @@
+//! A small metrics registry: counters, gauges, and fixed-bucket
+//! histograms with Prometheus text exposition and a JSON snapshot
+//! format. Dependency-free and coarse-locked — the registry sits *off*
+//! the simulated hot path (it is fed from end-of-run results and sweep
+//! slot boundaries, never from inside the cycle loop), so a single
+//! `Mutex` around a sorted map is plenty and keeps exposition output
+//! deterministic.
+
+use crate::json::JsonWriter;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn type_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum SeriesValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram {
+        /// Upper bounds, strictly increasing; an implicit `+Inf` bucket
+        /// follows the last bound.
+        bounds: Vec<f64>,
+        /// Per-bucket (non-cumulative) observation counts; one longer
+        /// than `bounds` for the `+Inf` bucket.
+        counts: Vec<u64>,
+        sum: f64,
+        count: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Series {
+    labels: Vec<(String, String)>,
+    value: SeriesValue,
+}
+
+#[derive(Debug, Clone)]
+struct Family {
+    kind: MetricKind,
+    help: String,
+    /// Keyed by the rendered label set so exposition order is stable.
+    series: BTreeMap<String, Series>,
+}
+
+/// Default histogram bounds (seconds-flavoured; override per metric with
+/// [`MetricsRegistry::register_histogram`]).
+pub const DEFAULT_BUCKETS: &[f64] = &[
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+];
+
+/// See the module docs. All methods take `&self`; the registry is meant
+/// to be shared behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+/// True iff `name` is a valid Prometheus metric/label name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`; labels additionally must not use `:`,
+/// which we disallow everywhere for simplicity).
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Escape a label value for the exposition format: `\` → `\\`,
+/// `"` → `\"`, newline → `\n`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a HELP text line: `\` → `\\`, newline → `\n`.
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a label set as `{k="v",...}` (empty string for no labels),
+/// with keys in the caller-supplied order.
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Format a sample value: integers without `.0`, non-finite as
+/// Prometheus spells them.
+fn render_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn sorted_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| {
+            assert!(valid_metric_name(k), "invalid label name {k:?}");
+            (k.to_string(), v.to_string())
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_family<R>(
+        &self,
+        name: &str,
+        kind: MetricKind,
+        help: Option<&str>,
+        f: impl FnOnce(&mut Family) -> R,
+    ) -> R {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        let mut families = self.families.lock().unwrap();
+        let fam = families.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            help: String::new(),
+            series: BTreeMap::new(),
+        });
+        assert!(
+            fam.kind == kind,
+            "metric {name} registered as {:?}, used as {kind:?}",
+            fam.kind
+        );
+        if let Some(h) = help {
+            fam.help = h.to_string();
+        }
+        f(fam)
+    }
+
+    /// Declare a metric with help text. Optional — updates auto-register
+    /// with empty help — but exposition is friendlier with it.
+    pub fn register(&self, name: &str, kind: MetricKind, help: &str) {
+        self.with_family(name, kind, Some(help), |_| {});
+    }
+
+    /// Declare a histogram with explicit (strictly increasing) upper
+    /// bounds. Must be called before the first `observe` for the bounds
+    /// to take effect; existing series keep their bounds.
+    pub fn register_histogram(&self, name: &str, help: &str, bounds: &[f64]) {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        self.with_family(name, MetricKind::Histogram, Some(help), |fam| {
+            // Family-wide bounds live in a sentinel entry (the NUL prefix
+            // sorts first and can never collide with a rendered label set).
+            fam.series
+                .entry("\u{0}bounds".to_string())
+                .or_insert(Series {
+                    labels: Vec::new(),
+                    value: SeriesValue::Histogram {
+                        bounds: bounds.to_vec(),
+                        counts: vec![0; bounds.len() + 1],
+                        sum: 0.0,
+                        count: 0,
+                    },
+                });
+        });
+    }
+
+    /// Add `v` to a counter series.
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], v: u64) {
+        let labels = sorted_labels(labels);
+        let key = render_labels(&labels);
+        self.with_family(name, MetricKind::Counter, None, |fam| {
+            let s = fam.series.entry(key).or_insert(Series {
+                labels,
+                value: SeriesValue::Counter(0),
+            });
+            if let SeriesValue::Counter(c) = &mut s.value {
+                *c = c.saturating_add(v);
+            }
+        });
+    }
+
+    /// Set a gauge series to `v`.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let labels = sorted_labels(labels);
+        let key = render_labels(&labels);
+        self.with_family(name, MetricKind::Gauge, None, |fam| {
+            let s = fam.series.entry(key).or_insert(Series {
+                labels,
+                value: SeriesValue::Gauge(0.0),
+            });
+            s.value = SeriesValue::Gauge(v);
+        });
+    }
+
+    /// Record one observation into a histogram series. Uses the bounds
+    /// from [`register_histogram`](Self::register_histogram) if declared,
+    /// else [`DEFAULT_BUCKETS`].
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.observe_n(name, labels, v, 1);
+    }
+
+    /// Record `n` observations of value `v` (bulk feed from a
+    /// pre-aggregated histogram).
+    pub fn observe_n(&self, name: &str, labels: &[(&str, &str)], v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let labels = sorted_labels(labels);
+        let key = render_labels(&labels);
+        self.with_family(name, MetricKind::Histogram, None, |fam| {
+            let bounds = fam
+                .series
+                .get("\u{0}bounds")
+                .and_then(|s| match &s.value {
+                    SeriesValue::Histogram { bounds, .. } => Some(bounds.clone()),
+                    _ => None,
+                })
+                .unwrap_or_else(|| DEFAULT_BUCKETS.to_vec());
+            let s = fam.series.entry(key).or_insert_with(|| Series {
+                labels,
+                value: SeriesValue::Histogram {
+                    counts: vec![0; bounds.len() + 1],
+                    bounds,
+                    sum: 0.0,
+                    count: 0,
+                },
+            });
+            if let SeriesValue::Histogram {
+                bounds,
+                counts,
+                sum,
+                count,
+            } = &mut s.value
+            {
+                let idx = bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len());
+                counts[idx] += n;
+                *sum += v * n as f64;
+                *count += n;
+            }
+        });
+    }
+
+    /// Render the registry in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers, escaped label
+    /// values, cumulative `le` buckets ending at `+Inf`, `_sum` and
+    /// `_count` series per histogram.
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().unwrap();
+        let mut out = String::new();
+        for (name, fam) in families.iter() {
+            if !fam.help.is_empty() {
+                let _ = writeln!(out, "# HELP {name} {}", escape_help(&fam.help));
+            }
+            let _ = writeln!(out, "# TYPE {name} {}", fam.kind.type_name());
+            for (key, s) in fam.series.iter() {
+                if key.starts_with('\u{0}') {
+                    continue; // bounds sentinel, not a real series
+                }
+                match &s.value {
+                    SeriesValue::Counter(c) => {
+                        let _ = writeln!(out, "{name}{key} {c}");
+                    }
+                    SeriesValue::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{key} {}", render_value(*g));
+                    }
+                    SeriesValue::Histogram {
+                        bounds,
+                        counts,
+                        sum,
+                        count,
+                    } => {
+                        let mut cum = 0u64;
+                        for (i, b) in bounds.iter().enumerate() {
+                            cum += counts[i];
+                            let mut labels = s.labels.clone();
+                            labels.push(("le".to_string(), render_value(*b)));
+                            let _ = writeln!(out, "{name}_bucket{} {cum}", render_labels(&labels));
+                        }
+                        let mut labels = s.labels.clone();
+                        labels.push(("le".to_string(), "+Inf".to_string()));
+                        let _ = writeln!(out, "{name}_bucket{} {count}", render_labels(&labels));
+                        let _ = writeln!(out, "{name}_sum{key} {}", render_value(*sum));
+                        let _ = writeln!(out, "{name}_count{key} {count}");
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Snapshot the registry as a JSON document (families → series with
+    /// labels, values, and histogram buckets).
+    pub fn snapshot_json(&self) -> String {
+        let families = self.families.lock().unwrap();
+        let mut w = JsonWriter::new();
+        w.begin_object().key("metrics").begin_array();
+        for (name, fam) in families.iter() {
+            w.begin_object()
+                .key("name")
+                .string(name)
+                .key("type")
+                .string(fam.kind.type_name())
+                .key("help")
+                .string(&fam.help)
+                .key("series")
+                .begin_array();
+            for (key, s) in fam.series.iter() {
+                if key.starts_with('\u{0}') {
+                    continue;
+                }
+                w.begin_object().key("labels").begin_object();
+                for (k, v) in &s.labels {
+                    w.key(k).string(v);
+                }
+                w.end_object();
+                match &s.value {
+                    SeriesValue::Counter(c) => {
+                        w.key("value").uint(*c);
+                    }
+                    SeriesValue::Gauge(g) => {
+                        w.key("value").num(*g);
+                    }
+                    SeriesValue::Histogram {
+                        bounds,
+                        counts,
+                        sum,
+                        count,
+                    } => {
+                        w.key("sum").num(*sum).key("count").uint(*count);
+                        w.key("buckets").begin_array();
+                        let mut cum = 0u64;
+                        for (i, b) in bounds.iter().enumerate() {
+                            cum += counts[i];
+                            w.begin_object()
+                                .key("le")
+                                .num(*b)
+                                .key("cumulative")
+                                .uint(cum)
+                                .end_object();
+                        }
+                        w.end_array();
+                    }
+                }
+                w.end_object();
+            }
+            w.end_array().end_object();
+        }
+        w.end_array().end_object();
+        w.finish()
+    }
+}
+
+/// One parsed exposition sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+/// Validate + parse a Prometheus text exposition document. Checks line
+/// syntax, metric/label names, label-value escapes, and numeric sample
+/// values; returns the samples or the first offending line.
+pub fn parse_exposition(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |what: &str| format!("line {}: {what}: {line:?}", lineno + 1);
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if !(rest.starts_with("HELP ") || rest.starts_with("TYPE ") || rest.is_empty()) {
+                // Arbitrary comments are legal; HELP/TYPE must be well-formed.
+                continue;
+            }
+            if let Some(t) = rest.strip_prefix("TYPE ") {
+                let mut parts = t.split_whitespace();
+                let name = parts.next().ok_or_else(|| err("TYPE missing name"))?;
+                let kind = parts.next().ok_or_else(|| err("TYPE missing kind"))?;
+                if !valid_metric_name(name) {
+                    return Err(err("invalid metric name in TYPE"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(err("unknown metric type"));
+                }
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, rest) = match line.find(['{', ' ']) {
+            Some(i) => (&line[..i], &line[i..]),
+            None => return Err(err("sample missing value")),
+        };
+        if !valid_metric_name(name_part) {
+            return Err(err("invalid metric name"));
+        }
+        let (labels, value_part) = if let Some(rest) = rest.strip_prefix('{') {
+            let close = find_label_close(rest).ok_or_else(|| err("unterminated label set"))?;
+            let labels = parse_label_set(&rest[..close]).map_err(|e| err(&e))?;
+            (labels, &rest[close + 1..])
+        } else {
+            (Vec::new(), rest)
+        };
+        let value_str = value_part.trim();
+        let value = match value_str {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            s => s.parse().map_err(|_| err("unparseable sample value"))?,
+        };
+        out.push(PromSample {
+            name: name_part.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(out)
+}
+
+/// Byte offset of the unescaped closing `}` in a label body.
+fn find_label_close(s: &str) -> Option<usize> {
+    let b = s.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'}' if !in_str => return Some(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_label_set(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut rest = s;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label missing '='")?;
+        let key = rest[..eq].trim();
+        if !valid_metric_name(key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or("label value not quoted")?;
+        let mut val = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => val.push('\\'),
+                    Some((_, '"')) => val.push('"'),
+                    Some((_, 'n')) => val.push('\n'),
+                    _ => return Err("bad escape in label value".to_string()),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => val.push(c),
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        out.push((key.to_string(), val));
+        rest = &rest[end + 1..];
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Ok(out)
+}
+
+/// Validate an exposition document, additionally checking that every
+/// histogram's `le` buckets are cumulative-monotone and consistent with
+/// its `_count`. Returns the number of samples.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let samples = parse_exposition(text)?;
+    // Group _bucket series by (metric, labels-minus-le).
+    let mut groups: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+    for s in &samples {
+        if let Some(base) = s.name.strip_suffix("_bucket") {
+            let le = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| match v.as_str() {
+                    "+Inf" => f64::INFINITY,
+                    v => v.parse().unwrap_or(f64::NAN),
+                })
+                .ok_or_else(|| format!("{}_bucket without le label", base))?;
+            let others: Vec<String> = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            groups
+                .entry(format!("{base}|{}", others.join(",")))
+                .or_default()
+                .push((le, s.value));
+        } else if let Some(base) = s.name.strip_suffix("_count") {
+            let others: Vec<String> = s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            counts.insert(format!("{base}|{}", others.join(",")), s.value);
+        }
+    }
+    for (key, buckets) in &groups {
+        let mut sorted = buckets.clone();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in sorted.windows(2) {
+            if w[1].1 < w[0].1 {
+                return Err(format!("histogram {key}: buckets not cumulative-monotone"));
+            }
+        }
+        match sorted.last() {
+            Some(&(le, total)) if le.is_infinite() => {
+                if let Some(&c) = counts.get(key) {
+                    if (c - total).abs() > 0.0 {
+                        return Err(format!("histogram {key}: +Inf bucket != _count"));
+                    }
+                }
+            }
+            _ => return Err(format!("histogram {key}: missing +Inf bucket")),
+        }
+    }
+    Ok(samples.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn counters_and_gauges_expose_and_parse() {
+        let reg = MetricsRegistry::new();
+        reg.register("runs_total", MetricKind::Counter, "Completed runs");
+        reg.counter_add("runs_total", &[("kind", "ok")], 3);
+        reg.counter_add("runs_total", &[("kind", "ok")], 2);
+        reg.gauge_set("slots_running", &[], 1.0);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# HELP runs_total Completed runs"));
+        assert!(text.contains("# TYPE runs_total counter"));
+        assert!(text.contains("runs_total{kind=\"ok\"} 5"));
+        assert!(text.contains("slots_running 1"));
+        let samples = parse_exposition(&text).unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(validate_exposition(&text).unwrap(), 2);
+    }
+
+    #[test]
+    fn label_values_escape_and_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("odd_total", &[("p", "a\\b\"c\nd")], 1);
+        let text = reg.render_prometheus();
+        assert!(text.contains("odd_total{p=\"a\\\\b\\\"c\\nd\"} 1"));
+        let samples = parse_exposition(&text).unwrap();
+        assert_eq!(samples[0].labels[0].1, "a\\b\"c\nd");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let reg = MetricsRegistry::new();
+        reg.register_histogram("lat", "latency", &[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 1.7, 3.0, 100.0] {
+            reg.observe("lat", &[], v);
+        }
+        let text = reg.render_prometheus();
+        assert!(text.contains("lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"2\"} 3"));
+        assert!(text.contains("lat_bucket{le=\"4\"} 4"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("lat_count 5"));
+        assert!(text.contains("lat_sum 106.7"));
+        validate_exposition(&text).unwrap();
+
+        // Validator catches a broken (non-monotone) exposition.
+        let broken = "a_bucket{le=\"1\"} 5\na_bucket{le=\"2\"} 3\na_bucket{le=\"+Inf\"} 5\n";
+        assert!(validate_exposition(broken)
+            .unwrap_err()
+            .contains("monotone"));
+        // ...and a missing +Inf bucket.
+        let no_inf = "a_bucket{le=\"1\"} 1\n";
+        assert!(validate_exposition(no_inf).unwrap_err().contains("+Inf"));
+    }
+
+    #[test]
+    fn observe_n_bulk_feed_matches_repeated_observe() {
+        let reg = MetricsRegistry::new();
+        reg.register_histogram("h", "", &[10.0, 20.0]);
+        reg.observe_n("h", &[], 5.0, 4);
+        reg.observe_n("h", &[], 15.0, 0); // no-op
+        let text = reg.render_prometheus();
+        assert!(text.contains("h_bucket{le=\"10\"} 4"));
+        assert!(text.contains("h_sum 20"));
+    }
+
+    #[test]
+    fn name_validation_rejects_bad_names() {
+        assert!(valid_metric_name("microbank_sim_cycles_total"));
+        assert!(valid_metric_name("_x9"));
+        assert!(!valid_metric_name("9x"));
+        assert!(!valid_metric_name("a-b"));
+        assert!(!valid_metric_name(""));
+        assert!(!valid_metric_name("a b"));
+    }
+
+    #[test]
+    fn json_snapshot_parses() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("c_total", &[("x", "1")], 7);
+        reg.observe("h", &[], 0.02);
+        let doc = parse(&reg.snapshot_json()).unwrap();
+        let fams = doc.get("metrics").unwrap().items();
+        assert_eq!(fams.len(), 2);
+        assert_eq!(fams[0].get("name").unwrap().as_str(), Some("c_total"));
+        assert_eq!(
+            fams[0].get("series").unwrap().items()[0]
+                .get("value")
+                .unwrap()
+                .as_f64(),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_exposition("9bad 1\n").is_err());
+        assert!(parse_exposition("a{b=1} 2\n").is_err());
+        assert!(parse_exposition("a{b=\"x\"} nope\n").is_err());
+        assert!(parse_exposition("a{b=\"x\"\n").is_err());
+        assert!(parse_exposition("# TYPE a wat\n").is_err());
+    }
+}

@@ -1,64 +1,6 @@
-//! Harness self-profiling: wall-clock timing of the simulator's own
-//! phases, so regressions in *simulator* performance (not simulated
-//! performance) show up in benchmark trajectories and harness logs.
-
-use std::time::Instant;
-
-/// A named sequence of wall-clock phases. Phases are closed in order:
-/// `mark("setup")` records the time since the previous mark (or
-/// construction) under that name.
-#[derive(Debug, Clone)]
-pub struct PhaseTimer {
-    started: Instant,
-    last: Instant,
-    phases: Vec<(String, f64)>,
-}
-
-impl Default for PhaseTimer {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl PhaseTimer {
-    pub fn new() -> Self {
-        let now = Instant::now();
-        PhaseTimer {
-            started: now,
-            last: now,
-            phases: Vec::new(),
-        }
-    }
-
-    /// Close the current phase under `name`; returns its duration in
-    /// seconds.
-    pub fn mark(&mut self, name: &str) -> f64 {
-        let now = Instant::now();
-        let secs = now.duration_since(self.last).as_secs_f64();
-        self.last = now;
-        self.phases.push((name.to_string(), secs));
-        secs
-    }
-
-    /// `(name, seconds)` pairs in completion order.
-    pub fn phases(&self) -> &[(String, f64)] {
-        &self.phases
-    }
-
-    /// Seconds recorded under `name` (summed if marked repeatedly).
-    pub fn seconds(&self, name: &str) -> f64 {
-        self.phases
-            .iter()
-            .filter(|(n, _)| n == name)
-            .map(|(_, s)| s)
-            .sum()
-    }
-
-    /// Total wall seconds since construction.
-    pub fn total(&self) -> f64 {
-        self.started.elapsed().as_secs_f64()
-    }
-}
+//! Harness self-profiling helpers. The phase timing itself lives in
+//! [`crate::span::SpanTracer`] (hierarchical wall-clock spans); this
+//! module keeps the derived throughput metric.
 
 /// Simulated megacycles per wall-second — the simulator's own throughput
 /// metric. Returns 0 for a zero-duration measurement.
@@ -73,19 +15,6 @@ pub fn mcycles_per_sec(cycles: u64, wall_secs: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn phases_accumulate_in_order() {
-        let mut t = PhaseTimer::new();
-        std::thread::sleep(std::time::Duration::from_millis(2));
-        let s1 = t.mark("setup");
-        let s2 = t.mark("run");
-        assert!(s1 >= 0.002, "{s1}");
-        assert!(s2 < s1, "second phase should be near-instant");
-        assert_eq!(t.phases().len(), 2);
-        assert!(t.seconds("setup") >= 0.002);
-        assert!(t.total() >= s1 + s2);
-    }
 
     #[test]
     fn throughput_metric() {

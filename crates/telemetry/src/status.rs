@@ -1,0 +1,227 @@
+//! A tiny blocking HTTP status server: serves a caller-maintained JSON
+//! status document at `/status` and the metrics registry's Prometheus
+//! exposition at `/metrics`. Dependency-free (std `TcpListener`), one
+//! accept thread, `Connection: close` per request — exactly enough for
+//! a human with `curl` or a scraper polling a running sweep, and the
+//! groundwork for sweep-as-a-service.
+//!
+//! The server only *reads* shared state; it can never influence the
+//! simulation. Binding to port 0 picks an ephemeral port, reported by
+//! [`StatusServer::local_addr`].
+
+use crate::metrics::MetricsRegistry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// State shared between the producer (e.g. `SweepRunner`) and the
+/// server thread.
+#[derive(Debug)]
+pub struct StatusShared {
+    status_json: Mutex<String>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl StatusShared {
+    pub fn new(metrics: Arc<MetricsRegistry>) -> Arc<Self> {
+        Arc::new(StatusShared {
+            status_json: Mutex::new("{}".to_string()),
+            metrics,
+        })
+    }
+
+    /// Replace the document served at `/status`.
+    pub fn set_status_json(&self, s: String) {
+        *self.status_json.lock().unwrap() = s;
+    }
+
+    pub fn status_json(&self) -> String {
+        self.status_json.lock().unwrap().clone()
+    }
+
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+}
+
+/// Handle to a running server; stops (thread joined) on drop.
+#[derive(Debug)]
+pub struct StatusServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl StatusServer {
+    /// Bind `addr` (e.g. `127.0.0.1:7878`, port 0 for ephemeral) and
+    /// serve `shared` until dropped.
+    pub fn start(addr: &str, shared: Arc<StatusShared>) -> std::io::Result<StatusServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("microbank-status".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // One request at a time: responses are tiny and the
+                        // producer must never block on a slow scraper.
+                        let _ = handle_conn(stream, &shared);
+                    }
+                }
+            })?;
+        Ok(StatusServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for StatusServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, shared: &StatusShared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read until end of headers (or a small cap — requests are GETs).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+    let (code, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_string(),
+        )
+    } else {
+        match path {
+            "/status" => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                shared.status_json(),
+            ),
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                shared.metrics().render_prometheus(),
+            ),
+            "/" => (
+                "200 OK",
+                "text/plain; charset=utf-8",
+                "microbank status server\nendpoints: /status /metrics\n".to_string(),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found; try /status or /metrics\n".to_string(),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {code}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal blocking HTTP GET against a status server; returns the body.
+/// Test/CLI helper — not a general HTTP client.
+pub fn http_get(addr: &SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(std::io::Error::other(format!("HTTP error: {status}")));
+    }
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(std::io::Error::other("malformed HTTP response")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::metrics::validate_exposition;
+
+    #[test]
+    fn serves_status_and_metrics_then_stops() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        metrics.counter_add("smoke_total", &[], 2);
+        let shared = StatusShared::new(Arc::clone(&metrics));
+        shared.set_status_json("{\"state\":\"running\"}".to_string());
+        let server = StatusServer::start("127.0.0.1:0", Arc::clone(&shared)).unwrap();
+        let addr = server.local_addr();
+
+        let status = http_get(&addr, "/status").unwrap();
+        assert_eq!(
+            parse(&status).unwrap().get("state").unwrap().as_str(),
+            Some("running")
+        );
+
+        // The producer can update between requests.
+        shared.set_status_json("{\"state\":\"done\"}".to_string());
+        let status = http_get(&addr, "/status").unwrap();
+        assert!(status.contains("done"));
+
+        let metrics_text = http_get(&addr, "/metrics").unwrap();
+        assert!(metrics_text.contains("smoke_total 2"));
+        validate_exposition(&metrics_text).unwrap();
+
+        assert!(http_get(&addr, "/nope").is_err());
+        let index = http_get(&addr, "/").unwrap();
+        assert!(index.contains("/metrics"));
+
+        drop(server);
+        // After drop the port no longer accepts (may take a moment for
+        // the OS to tear down; connection may succeed but read fails, so
+        // just assert the request no longer round-trips).
+        assert!(http_get(&addr, "/status").is_err());
+    }
+}

@@ -140,9 +140,25 @@ impl CmdTrace {
 /// Microseconds of simulated time per CPU cycle (2 GHz clock).
 const US_PER_CYCLE: f64 = 0.0005;
 
+/// `pid` used for harness spans merged into a Chrome trace — far above
+/// any real channel index, so device rows and harness rows group into
+/// separate process tracks in the viewer.
+pub const HARNESS_PID: u64 = 1_000_000;
+
 /// Render any record sequence (e.g. a multi-channel merge) as Chrome
 /// `trace_event` JSON. See [`CmdTrace::to_chrome_json`].
 pub fn to_chrome_json(records: &[CmdRecord]) -> String {
+    to_chrome_json_with_spans(records, &[])
+}
+
+/// Like [`to_chrome_json`], additionally merging harness span rows (see
+/// [`crate::span::SpanRow`]) as duration events under [`HARNESS_PID`],
+/// with `tid` = lane (0 = coordinator/main, 1+w = shard worker w).
+/// Device events use simulated time, harness events wall time — the two
+/// timebases share a `ts` axis only nominally, which is fine for the
+/// intended use (eyeballing where harness time goes next to what the
+/// device was doing).
+pub fn to_chrome_json_with_spans(records: &[CmdRecord], spans: &[crate::span::SpanRow]) -> String {
     let mut w = JsonWriter::new();
     w.begin_object().key("displayTimeUnit").string("ns");
     w.key("metadata")
@@ -151,8 +167,37 @@ pub fn to_chrome_json(records: &[CmdRecord]) -> String {
         .num(2.0)
         .key("record_count")
         .uint(records.len() as u64)
+        .key("harness_span_count")
+        .uint(spans.len() as u64)
+        .key("harness_pid")
+        .uint(HARNESS_PID)
         .end_object();
     w.key("traceEvents").begin_array();
+    for s in spans {
+        w.begin_object()
+            .key("name")
+            .string(&s.path)
+            .key("ph")
+            .string("X")
+            .key("ts")
+            .num(s.start_secs * 1e6)
+            .key("dur")
+            .num(s.secs * 1e6)
+            .key("pid")
+            .uint(HARNESS_PID)
+            .key("tid")
+            .uint(s.lane as u64)
+            .key("args")
+            .begin_object()
+            .key("count")
+            .uint(s.count)
+            .key("depth")
+            .uint(s.depth as u64)
+            .key("secs")
+            .num(s.secs)
+            .end_object()
+            .end_object();
+    }
     for r in records {
         w.begin_object()
             .key("name")
@@ -185,11 +230,16 @@ pub fn to_chrome_json(records: &[CmdRecord]) -> String {
 /// Parse a Chrome trace-event JSON document produced by
 /// [`to_chrome_json`] back into records — the round-trip proof that the
 /// export is well-formed, and a convenience for test assertions.
+/// Harness span rows (pid = [`HARNESS_PID`]) are skipped: they carry
+/// wall-clock observations, not device commands.
 pub fn from_chrome_json(s: &str) -> Result<Vec<CmdRecord>, String> {
     let v = crate::json::parse(s).map_err(|off| format!("JSON parse error at byte {off}"))?;
     let events = v.get("traceEvents").ok_or("missing traceEvents")?;
     let mut out = Vec::new();
     for e in events.items() {
+        if e.get("pid").and_then(|p| p.as_f64()) == Some(HARNESS_PID as f64) {
+            continue;
+        }
         let name = e
             .get("name")
             .and_then(|n| n.as_str())
@@ -274,6 +324,41 @@ mod tests {
             assert_eq!(CmdKind::from_name(k.name()), Some(k));
         }
         assert_eq!(CmdKind::from_name("NOP"), None);
+    }
+
+    #[test]
+    fn harness_spans_merge_and_round_trip_skips_them() {
+        let mut t = CmdTrace::new(8);
+        t.push(rec(10, CmdKind::Act));
+        t.push(rec(14, CmdKind::Rd));
+        let spans = vec![crate::span::SpanRow {
+            path: "drive/worker-0/spin-wait".to_string(),
+            name: "spin-wait".to_string(),
+            depth: 2,
+            lane: 1,
+            start_secs: 0.001,
+            secs: 0.5,
+            count: 42,
+        }];
+        let json = to_chrome_json_with_spans(&t.records(), &spans);
+        let doc = crate::json::parse(&json).unwrap();
+        assert_eq!(
+            doc.get("metadata")
+                .unwrap()
+                .get("harness_span_count")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        let events = doc.get("traceEvents").unwrap().items();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[0].get("pid").unwrap().as_f64(),
+            Some(HARNESS_PID as f64)
+        );
+        // Command round-trip is unaffected by the merged harness rows.
+        let parsed = from_chrome_json(&json).unwrap();
+        assert_eq!(parsed, t.records());
     }
 
     #[test]
