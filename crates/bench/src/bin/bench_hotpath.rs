@@ -8,11 +8,15 @@
 //!
 //! Usage:
 //!   bench_hotpath [--reps N] [--out PATH]
-//!   bench_hotpath --check BASELINE.json [--tolerance FRAC]
+//!   bench_hotpath --check BASELINE.json [--tolerance FRAC] [--floor MCPS]
 //!
 //! With `--check`, the run additionally compares the fresh (16,16)
 //! throughput against the baseline file and exits nonzero when it fell
 //! more than FRAC (default 0.25) below it — the CI perf-smoke gate.
+//! `--floor` adds an absolute gate: the fresh (16,16) number must be at
+//! least MCPS simulated Mcycles/s, so the event-driven core can never
+//! quietly regress below a committed per-cycle-era baseline even if the
+//! checked-in baseline file drifts upward.
 
 use microbank_sim::simulator::{run, SimConfig};
 use microbank_telemetry::json::{parse, JsonWriter};
@@ -136,5 +140,15 @@ fn main() {
             std::process::exit(1);
         }
         println!("perf gate: OK");
+    }
+
+    if let Some(abs_floor) = flag("--floor").and_then(|v| v.parse::<f64>().ok()) {
+        let fresh = points.last().expect("16x16 point").mcps;
+        println!("perf floor: fresh {fresh:.2} vs absolute floor {abs_floor:.2} Mcycles/s");
+        if fresh < abs_floor {
+            eprintln!("FAIL: (16,16) hot-path throughput below the absolute floor {abs_floor:.2}");
+            std::process::exit(1);
+        }
+        println!("perf floor: OK");
     }
 }

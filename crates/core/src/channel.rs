@@ -496,6 +496,97 @@ impl Channel {
     pub fn open_row_flat(&self, flat: usize) -> Option<u32> {
         self.banks[flat].open_row
     }
+
+    // ---- Earliest-legal-cycle duals of the `can_*` predicates. ----
+    //
+    // Every `can_*` check is a conjunction of monotone thresholds on `now`
+    // (`now >= timer`), so with the channel state frozen each predicate has
+    // an exact first-true cycle: the max of its timers. The controller's
+    // `next_event` folds these to prove how long it can sleep; the duals
+    // below MUST stay in lockstep with their predicates (pinned by the
+    // `earliest_*_duals_are_exact` tests).
+
+    /// Earliest cycle `rank` can accept any command: end of an in-flight
+    /// refresh and of a power-down exit (tXP). A rank that is powered down
+    /// stays unavailable until an external wake event, so it reports
+    /// "never" — callers bail out of skipping before that matters.
+    fn rank_ready_at(&self, rank: usize) -> Cycle {
+        let rs = &self.ranks[rank];
+        if rs.powered_down {
+            return Cycle::MAX;
+        }
+        rs.refresh_until.max(rs.wake_ready)
+    }
+
+    /// Earliest cycle [`Channel::can_activate_flat`] becomes true with the
+    /// channel state frozen. `Cycle::MAX` while the μbank holds an open row
+    /// (a PRE — itself a folded event — must land first).
+    pub fn earliest_activate_flat(&self, flat: usize) -> Cycle {
+        let b = &self.banks[flat];
+        if b.open_row.is_some() {
+            return Cycle::MAX;
+        }
+        let rank = self.rank_of(flat);
+        let rs = &self.ranks[rank];
+        let mut t = self.next_cmd.max(self.rank_ready_at(rank)).max(b.next_act);
+        if let Some(a) = rs.last_act {
+            t = t.max(a + self.t.t_rrd);
+        }
+        if rs.act_window.len() == FAW_ACTS {
+            t = t.max(rs.act_window[0] + self.t.t_faw);
+        }
+        t
+    }
+
+    /// Earliest cycle a column command to `flat`'s currently open row
+    /// becomes legal ([`Channel::can_column_flat`] dual). The caller must
+    /// have checked that the open row matches the request; `Cycle::MAX`
+    /// while the μbank is precharged.
+    pub fn earliest_column_flat(&self, flat: usize, is_write: bool) -> Cycle {
+        let b = &self.banks[flat];
+        if b.open_row.is_none() {
+            return Cycle::MAX;
+        }
+        let rank = self.rank_of(flat);
+        let lat = if is_write { self.t.t_cwl } else { self.t.t_aa };
+        let mut t = self
+            .next_cmd
+            .max(self.next_col_cmd)
+            .max(self.rank_ready_at(rank))
+            .max(b.next_col)
+            // `burst_start = now + lat >= data_free` solved for `now`.
+            .max(self.data_free.saturating_sub(lat));
+        if !is_write {
+            t = t.max(self.ranks[rank].last_wr_data_end + self.t.t_wtr);
+        }
+        t
+    }
+
+    /// Earliest cycle [`Channel::can_precharge_flat`] becomes true;
+    /// `Cycle::MAX` while the μbank is already precharged.
+    pub fn earliest_precharge_flat(&self, flat: usize) -> Cycle {
+        let b = &self.banks[flat];
+        if b.open_row.is_none() {
+            return Cycle::MAX;
+        }
+        let rank = self.rank_of(flat);
+        self.next_cmd.max(self.rank_ready_at(rank)).max(b.next_pre)
+    }
+
+    /// Earliest cycle [`Channel::can_precharge_all`] becomes true for
+    /// `rank` (command bus free and every open μbank past its tRAS/tRTP/tWR
+    /// precharge preconditions — PREA deliberately checks neither refresh
+    /// nor power-down state, and neither does this dual).
+    pub fn earliest_precharge_all(&self, rank: usize) -> Cycle {
+        let lo = rank * self.ubanks_per_rank;
+        let mut t = self.next_cmd;
+        for b in &self.banks[lo..lo + self.ubanks_per_rank] {
+            if b.open_row.is_some() {
+                t = t.max(b.next_pre);
+            }
+        }
+        t
+    }
 }
 
 // Location-based API used by doctests/examples; forwards to the flat API.
@@ -768,5 +859,124 @@ mod tests {
         }
         assert!(now >= 3 * t.t_faw, "16 ACTs cross at least 3 tFAW windows");
         assert_eq!(ch.stats.activates, 16);
+    }
+
+    /// With the channel state frozen, each `earliest_*` dual must be the
+    /// exact first-true cycle of its `can_*` predicate: false strictly
+    /// before it, true at it (checked over a window that spans tRC, tFAW,
+    /// and the data-bus/turnaround constraints).
+    fn assert_dual_exact(
+        tag: &str,
+        earliest: Cycle,
+        horizon: Cycle,
+        mut can: impl FnMut(Cycle) -> bool,
+    ) {
+        for now in 0..horizon {
+            assert_eq!(
+                can(now),
+                now >= earliest,
+                "{tag}: can(now={now}) disagrees with earliest={earliest}"
+            );
+        }
+    }
+
+    #[test]
+    fn earliest_duals_are_exact_across_command_mix() {
+        let (cfg, mut ch) = setup(2, 2);
+        let t = *ch.timings();
+        let horizon = 4 * (t.t_rc() + t.t_faw + t.t_refi.min(10_000));
+        let la = loc(0, 0, 0, 7);
+        let lb = loc(1, 1, 1, 3);
+        let fa = la.ubank_flat(&cfg);
+        let fb = lb.ubank_flat(&cfg);
+        // Drive a little history so every timer (tRRD window, data bus,
+        // write-to-read turnaround, tRAS) is armed, checking the dual
+        // against the predicate at each step.
+        let mut now = 0;
+        ch.activate_flat(fa, la.row, now);
+        assert_dual_exact(
+            "act b after act a",
+            ch.earliest_activate_flat(fb),
+            horizon,
+            |c| ch.can_activate_flat(fb, c),
+        );
+        now = ch.earliest_activate_flat(fb);
+        ch.activate_flat(fb, lb.row, now);
+        assert_dual_exact(
+            "wr a after two acts",
+            ch.earliest_column_flat(fa, true),
+            horizon,
+            |c| ch.can_column_flat(fa, la.row, true, c),
+        );
+        now = ch.earliest_column_flat(fa, true);
+        ch.write_flat(fa, now);
+        // Read on the sibling bank now faces tCCD + data bus + tWTR.
+        assert_dual_exact(
+            "rd b after wr a",
+            ch.earliest_column_flat(fb, false),
+            horizon,
+            |c| ch.can_column_flat(fb, lb.row, false, c),
+        );
+        now = ch.earliest_column_flat(fb, false);
+        ch.read_flat(fb, now);
+        // Precharge duals: tRAS on a, read-to-precharge on b.
+        assert_dual_exact("pre a", ch.earliest_precharge_flat(fa), horizon, |c| {
+            ch.can_precharge_flat(fa, c)
+        });
+        assert_dual_exact("prea rank 0", ch.earliest_precharge_all(0), horizon, |c| {
+            ch.can_precharge_all(0, c)
+        });
+        now = ch.earliest_precharge_all(0);
+        ch.precharge_all(0, now);
+        // Closed banks: column dual reports "never", activate is finite.
+        assert_eq!(ch.earliest_column_flat(fa, false), Cycle::MAX);
+        assert_eq!(ch.earliest_precharge_flat(fa), Cycle::MAX);
+        assert_dual_exact(
+            "re-act a after prea",
+            ch.earliest_activate_flat(fa),
+            horizon,
+            |c| ch.can_activate_flat(fa, c),
+        );
+    }
+
+    #[test]
+    fn earliest_activate_saturates_tfaw_window() {
+        let (cfg, mut ch) = setup(4, 4);
+        let mut now = 0;
+        // Fill the 4-deep ACT window, then the dual must report the tFAW
+        // edge for a fifth activate.
+        for i in 0..4u8 {
+            let l = loc(0, i % 4, i / 4, i as u32);
+            let f = l.ubank_flat(&cfg);
+            now = ch.earliest_activate_flat(f).max(now);
+            ch.activate_flat(f, l.row, now);
+        }
+        let l5 = loc(1, 0, 0, 42);
+        let f5 = l5.ubank_flat(&cfg);
+        let horizon = now + 2 * ch.timings().t_faw;
+        assert_dual_exact(
+            "5th act across tFAW",
+            ch.earliest_activate_flat(f5),
+            horizon,
+            |c| ch.can_activate_flat(f5, c),
+        );
+    }
+
+    #[test]
+    fn earliest_duals_report_refresh_blackout() {
+        let cfg = MemConfig::lpddr_tsi().with_ubanks(2, 2);
+        let mut ch = Channel::new(&cfg);
+        let due = ch.next_refresh_at(0).expect("refresh on");
+        ch.refresh(0, due);
+        let l = loc(0, 0, 0, 1);
+        let f = l.ubank_flat(&cfg);
+        // The rank is dark until tRFC elapses; the dual must not report a
+        // cycle inside the blackout.
+        assert_dual_exact(
+            "act during refresh",
+            ch.earliest_activate_flat(f),
+            due + 2 * ch.timings().t_rfc,
+            |c| ch.can_activate_flat(f, c),
+        );
     }
 }

@@ -23,6 +23,19 @@ pub enum MemOutcome {
     Stall,
 }
 
+/// Why a quiesced core cannot progress — names the stall counter that
+/// dispatch would have bumped on each skipped cycle, so bulk accounting
+/// stays bit-identical to per-cycle ticking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// The ROB is full with an unready head; dispatch counts a ROB-full
+    /// stall per cycle.
+    RobFull,
+    /// Dispatch is replaying an instruction against a full MSHR file;
+    /// each retry counts an MSHR stall.
+    MshrReplay,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct RobEntry {
     /// `Some(c)`: ready to commit at cycle `c`. `None`: waiting on memory.
@@ -155,27 +168,54 @@ impl Core {
     }
 
     /// Earliest cycle at which ticking this core can change anything
-    /// beyond the ROB-full stall counter, given its state after this
-    /// cycle's commit+dispatch. Returns 0 when the core must tick next
-    /// cycle (ROB has space to dispatch into). With a full ROB, nothing
-    /// moves until the head entry is ready: `Cycle::MAX` while the head
-    /// waits on memory (a [`Core::complete_load`] re-evaluates), else the
-    /// head's ready time. Callers that skip the intervening cycles must
-    /// account each one via [`Core::account_rob_full_cycles`], since
-    /// `dispatch` would have counted a ROB-full stall.
-    pub fn stalled_until(&self) -> Cycle {
-        if self.rob.len() < self.rob_capacity {
-            return 0;
+    /// beyond the stall counter named by the returned [`StallKind`], given
+    /// its state after this cycle's commit+dispatch. Returns cycle 0 when
+    /// the core must tick next cycle (ROB has space and dispatch is not
+    /// wedged). Two stalls quiesce a core:
+    ///
+    /// - **ROB full**: nothing moves until the head entry is ready —
+    ///   `Cycle::MAX` while the head waits on memory (a
+    ///   [`Core::complete_load`] re-evaluates), else the head's ready
+    ///   time. Each skipped cycle would have counted a ROB-full stall.
+    /// - **MSHR-wedged replay**: dispatch is stuck retrying the same
+    ///   instruction against a full MSHR file, which only a fill can
+    ///   drain. Commit still pops the head once it is ready, so the wake
+    ///   is the head's ready time (`Cycle::MAX` for a pending head or an
+    ///   empty ROB, where only posted-write fills hold the MSHRs). Each
+    ///   skipped cycle would have counted an MSHR stall.
+    ///
+    /// Callers that skip the intervening cycles must account each one via
+    /// [`Core::account_rob_full_cycles`] or
+    /// [`Core::account_mshr_stall_cycles`] per the returned kind, and must
+    /// re-evaluate on any event that can unwedge the core (a fill to its
+    /// cluster may free an MSHR without completing one of its own loads).
+    pub fn quiesced_until(&self) -> (Cycle, StallKind) {
+        if self.rob.len() >= self.rob_capacity {
+            let w = match self.rob.front() {
+                Some(e) => e.ready_at.unwrap_or(Cycle::MAX),
+                None => 0, // capacity 0 cannot happen; be conservative
+            };
+            return (w, StallKind::RobFull);
         }
-        match self.rob.front() {
-            Some(e) => e.ready_at.unwrap_or(Cycle::MAX),
-            None => 0, // capacity 0 cannot happen; be conservative
+        if self.replay.is_some() {
+            let w = match self.rob.front() {
+                Some(e) => e.ready_at.unwrap_or(Cycle::MAX),
+                None => Cycle::MAX, // drained ROB; MSHRs held by posted writes
+            };
+            return (w, StallKind::MshrReplay);
         }
+        (0, StallKind::RobFull)
     }
 
-    /// Bulk-account skipped ROB-full cycles (see [`Core::stalled_until`]).
+    /// Bulk-account skipped ROB-full cycles (see [`Core::quiesced_until`]).
     pub fn account_rob_full_cycles(&mut self, n: u64) {
         self.stats.rob_full_cycles += n;
+    }
+
+    /// Bulk-account skipped MSHR-stall cycles (see
+    /// [`Core::quiesced_until`]).
+    pub fn account_mshr_stall_cycles(&mut self, n: u64) {
+        self.stats.mshr_stall_cycles += n;
     }
 
     /// A pending load (ROB sequence `seq`) finished at `now`.

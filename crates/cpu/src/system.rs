@@ -12,7 +12,7 @@ use crate::config::CmpConfig;
 use crate::instr::InstrSource;
 use crate::mshr::MshrFile;
 use crate::prefetch::StreamPrefetcher;
-use crate::rob::{Core, MemOutcome};
+use crate::rob::{Core, MemOutcome, StallKind};
 use microbank_core::fxhash::{FxHashMap, FxHashSet};
 use microbank_core::Cycle;
 use std::collections::VecDeque;
@@ -385,11 +385,16 @@ pub struct CmpSystem<S: InstrSource> {
     sources: Vec<S>,
     uncore: Uncore,
     /// Per-core earliest-progress cycle: while `core_wake[i] > now`, core
-    /// `i` has a full ROB whose head is not ready before `core_wake[i]`,
-    /// so commit/dispatch would only bump the ROB-full stall counter —
-    /// which the skip accounts directly. Any fill for the core resets its
-    /// entry to 0 (see [`CmpSystem::on_fill`]).
+    /// `i` can make no progress before `core_wake[i]` — its ROB is full
+    /// with an unready head, or its dispatch is wedged on an MSHR-stalled
+    /// replay — so ticking it would only bump the stall counter named by
+    /// `core_stall[i]`, which the skip accounts directly. Any fill for
+    /// the core (or, for MSHR wedges, any fill to its cluster that frees
+    /// an MSHR) resets its entry to 0 (see [`CmpSystem::on_fill`]).
     core_wake: Vec<Cycle>,
+    /// Which stall counter each quiesced core accrues per skipped cycle
+    /// (valid while `core_wake[i] > now`; see [`Core::quiesced_until`]).
+    core_stall: Vec<StallKind>,
 }
 
 impl<S: InstrSource> CmpSystem<S> {
@@ -405,6 +410,7 @@ impl<S: InstrSource> CmpSystem<S> {
             cores,
             sources,
             core_wake: vec![0; cfg.cores],
+            core_stall: vec![StallKind::RobFull; cfg.cores],
             uncore: Uncore {
                 cfg,
                 l1: (0..cfg.cores)
@@ -442,13 +448,16 @@ impl<S: InstrSource> CmpSystem<S> {
         }
         let uncore = &mut self.uncore;
         for (i, core) in self.cores.iter_mut().enumerate() {
-            // A core whose ROB is full with an unready head can make no
-            // progress: commit would pop nothing and dispatch would only
-            // count a ROB-full stall. Account the stall and skip the
-            // whole cache/closure path (dominant when most cores block on
-            // the massive-bank memory system).
+            // A quiesced core (full ROB with an unready head, or dispatch
+            // wedged on an MSHR-stalled replay) can make no progress:
+            // ticking it would only bump one stall counter. Account that
+            // stall and skip the whole cache/closure path (dominant when
+            // most cores block on the massive-bank memory system).
             if self.core_wake[i] > now {
-                core.account_rob_full_cycles(1);
+                match self.core_stall[i] {
+                    StallKind::RobFull => core.account_rob_full_cycles(1),
+                    StallKind::MshrReplay => core.account_mshr_stall_cycles(1),
+                }
                 continue;
             }
             core.commit(now);
@@ -457,7 +466,66 @@ impl<S: InstrSource> CmpSystem<S> {
             core.dispatch(now, src, |addr, w, seq| {
                 uncore.mem_access(i, cluster, addr, w, seq, now, port)
             });
-            self.core_wake[i] = core.stalled_until();
+            let (wake, stall) = core.quiesced_until();
+            self.core_wake[i] = wake;
+            self.core_stall[i] = stall;
+        }
+    }
+
+    /// Earliest cycle after `now` at which [`CmpSystem::tick`] could do
+    /// anything beyond bulk-accountable stalls (ROB-full or MSHR-wedged,
+    /// per [`Core::quiesced_until`]), with CPU state frozen. Returns
+    /// `now + 1` ("must tick next cycle") while the submit backlog is
+    /// non-empty (each failed retry mutates controller reject counters)
+    /// or any core can make progress; otherwise the minimum `core_wake` —
+    /// every skipped cycle up to (exclusive) that horizon would only run
+    /// the per-core stall-skip branch, which
+    /// [`CmpSystem::account_skipped_cycles`] replays in bulk. A fill
+    /// ([`CmpSystem::on_fill`]) resets `core_wake` and thereby ends any
+    /// skip stretch; the drive loop delivers fills before re-asking.
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        if !self.uncore.backlog.is_empty() {
+            return now + 1;
+        }
+        self.core_horizon(now)
+    }
+
+    /// The core half of [`CmpSystem::next_event`]: earliest cycle any
+    /// *core* could make progress, ignoring the submit backlog (minimum
+    /// `core_wake`, or `now + 1` while some core is unstalled). A caller
+    /// that jumps past cycles with a non-empty backlog must prove each
+    /// skipped cycle's head retry fails — the head targets a full
+    /// controller queue and that controller does not tick inside the jump
+    /// — and replay the failed attempts
+    /// ([`MemoryController::account_rejected`] in `microbank-ctrl`).
+    pub fn core_horizon(&self, now: Cycle) -> Cycle {
+        let mut min = Cycle::MAX;
+        for &w in &self.core_wake {
+            if w <= now + 1 {
+                return now + 1;
+            }
+            min = min.min(w);
+        }
+        min
+    }
+
+    /// Address of the oldest backlogged (rejected) submission, if any.
+    /// Only the head is retried each tick, so the head alone decides
+    /// whether a skipped cycle's retry would have succeeded.
+    pub fn backlog_head_addr(&self) -> Option<u64> {
+        self.uncore.backlog.front().map(|r| r.addr)
+    }
+
+    /// Replay `n` skipped cycles' worth of CPU-side accounting: every core
+    /// was quiesced for all of them (guaranteed by the
+    /// [`CmpSystem::next_event`] horizon), so each accrues `n` cycles of
+    /// its frozen stall kind and nothing else.
+    pub fn account_skipped_cycles(&mut self, n: u64) {
+        for (core, stall) in self.cores.iter_mut().zip(&self.core_stall) {
+            match stall {
+                StallKind::RobFull => core.account_rob_full_cycles(n),
+                StallKind::MshrReplay => core.account_mshr_stall_cycles(n),
+            }
         }
     }
 
@@ -485,9 +553,16 @@ impl<S: InstrSource> CmpSystem<S> {
             self.cores[core].complete_load(seq, ready);
             self.core_wake[core] = 0; // re-evaluate stall next tick
         }
-        // Release every core's MSHR entry for this line.
+        // Release every core's MSHR entry for this line. A freed entry can
+        // unwedge a core whose dispatch is replaying against a full MSHR
+        // file even when none of its own loads completed, so its wake must
+        // be re-evaluated at the next tick.
         for core in self.uncore.cores_of(p.cluster) {
-            self.uncore.mshr[core].complete(p.line);
+            if self.uncore.mshr[core].complete(p.line).is_some()
+                && self.core_stall[core] == StallKind::MshrReplay
+            {
+                self.core_wake[core] = 0;
+            }
         }
     }
 

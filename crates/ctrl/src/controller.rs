@@ -561,9 +561,9 @@ impl MemoryController {
     /// engine just retired: the pending decision, any predictor
     /// auto-precharge, and the close deadline. Without this, a stale
     /// deadline promotes the dead μbank back into `pre_due`, where
-    /// `idle_until` keeps the controller awake waiting on a precharge
-    /// that can never issue. Stale `deadline_heap` entries are dropped
-    /// lazily by the `close_deadline` equality check.
+    /// `next_event` keeps folding a precharge that can never issue.
+    /// Stale `deadline_heap` entries are dropped lazily by the
+    /// `close_deadline` equality check.
     fn clear_retired_policy_state(&mut self, flat: usize) {
         self.pending[flat] = None;
         self.auto_pre[flat] = false;
@@ -705,61 +705,173 @@ impl MemoryController {
         self.trace_cmd(now, CmdKind::Pre, flat, row);
     }
 
-    /// If every [`MemoryController::tick`] from `now` on is provably a
-    /// stats-only no-op until some future cycle, return that cycle (the
-    /// earliest pending deadline or refresh; `Cycle::MAX` when nothing is
-    /// pending at all). Returns `None` whenever the controller might act,
-    /// so callers can always fall back to per-cycle ticking.
+    /// Earliest future cycle at which a [`MemoryController::tick`] could
+    /// do anything beyond per-tick stats accounting, with the controller's
+    /// state frozen as it stands. `Some(t)` guarantees every tick strictly
+    /// before `t` is a stats-only no-op (replayable in bulk via
+    /// [`MemoryController::account_skipped_ticks`]); `Some(Cycle::MAX)`
+    /// means nothing is pending at all. `None` means the controller might
+    /// act at the very next tick, so callers must fall back to per-cycle
+    /// ticking. An `enqueue` invalidates any previously returned horizon —
+    /// callers must re-tick (the drive loops reset their wake entries on
+    /// every accepted submit).
     ///
-    /// The conditions mirror `tick`'s phases: rank power management must
-    /// be off (it has its own per-cycle state machine), the queue empty
-    /// (no demand scheduling), no refresh drain in progress and none due,
-    /// and no policy precharge due. Skipped cycles must be reported via
-    /// [`MemoryController::account_idle_ticks`] to keep occupancy
-    /// statistics identical to per-cycle ticking.
-    pub fn idle_until(&mut self, now: Cycle) -> Option<Cycle> {
-        // The reliability engine schedules its own background commands
-        // (patrol scrubs), so a faults-enabled controller is never
-        // provably inert; take the per-cycle path.
-        if self.faults.is_some() {
+    /// This generalizes the old all-or-nothing `idle_until`: a *busy*
+    /// controller also sleeps, because every `can_*` predicate in the
+    /// channel is a conjunction of monotone `now >= timer` thresholds
+    /// whose exact first-true cycle the `earliest_*` duals report. The
+    /// fold mirrors `tick`'s phases (DESIGN §5f):
+    ///
+    /// - rank power management has its own per-cycle idle/wake state
+    ///   machine, so it disables skipping outright;
+    /// - a pending PAR-BS batch formation demands a tick: formation
+    ///   snapshots the queue at the forming tick, so its timing is
+    ///   observable ([`Scheduler::would_form_batch`]);
+    /// - a scheduled patrol scrub contributes its next-due cycle (a
+    ///   clean-armed fault engine without a scrubber no longer pins the
+    ///   controller awake — demand retries stay in the queue and are
+    ///   covered by the demand fold);
+    /// - a draining rank contributes its earliest PREA (or demands a tick
+    ///   when already idle, since REF only waits for the drain); an armed
+    ///   refresh schedule contributes its next deadline;
+    /// - each queued request contributes the earliest legal cycle of the
+    ///   action the candidate scan would pick for it (column for an open
+    ///   row match, conflict-precharge when no other request still hits
+    ///   the open row, activate when closed);
+    /// - pending policy precharges contribute their earliest PRE; armed
+    ///   close deadlines contribute `max(deadline, earliest PRE)` —
+    ///   promotion into `pre_due` is pure catch-up at the next executed
+    ///   tick, so deferring it across skipped cycles is invisible.
+    pub fn next_event(&mut self, now: Cycle) -> Option<Cycle> {
+        if self.cfg.powerdown_idle.is_some() {
             return None;
         }
-        if self.cfg.powerdown_idle.is_some() || !self.queue.is_empty() {
-            return None;
-        }
-        if self.refresh_draining.iter().any(|&d| d) || !self.pre_due.is_empty() {
+        // PAR-BS batch formation happens at the first tick after the old
+        // batch drains and snapshots the queue at that tick; deferring it
+        // past an arrival would mark a different batch than the per-cycle
+        // reference formed.
+        if self.scheduler.would_form_batch(&self.queue) {
             return None;
         }
         let mut next = Cycle::MAX;
-        // Drop stale heap heads so a dead deadline can't pin the horizon.
-        while let Some(&Reverse((deadline, flat))) = self.deadline_heap.peek() {
-            if self.close_deadline[flat] != deadline {
-                self.deadline_heap.pop();
-                continue;
+        // Patrol scrub schedule (satellite of the reliability engine).
+        if let Some(eng) = self.faults.as_deref() {
+            if let Some(s) = &eng.scrub {
+                let due = s.next_due();
+                if due <= now {
+                    return None;
+                }
+                next = next.min(due);
             }
-            if deadline <= now {
-                return None;
-            }
-            next = next.min(deadline);
-            break;
         }
+        // Refresh: draining ranks race their PREA; armed schedules fire at
+        // their deadline.
         for rank in 0..self.refresh_draining.len() {
-            if let Some(at) = self.channel.next_refresh_at(rank) {
+            if self.refresh_draining[rank] {
+                if self.channel.rank_all_idle(rank) {
+                    return None;
+                }
+                let at = self.channel.earliest_precharge_all(rank);
+                if at <= now {
+                    return None;
+                }
+                next = next.min(at);
+            } else if let Some(at) = self.channel.next_refresh_at(rank) {
                 if at <= now {
                     return None;
                 }
                 next = next.min(at);
             }
         }
+        // Demand queue: earliest legal cycle of each request's candidate
+        // action. Queue content is frozen for the whole skip stretch (an
+        // enqueue resets the caller's wake; removals require ticks), so
+        // the `any_hit_for` routing below cannot change mid-stretch.
+        for idx in self.queue.indices() {
+            let r = self.queue.get(idx);
+            let flat = r.flat as usize;
+            if self.refresh_draining[r.loc.rank as usize] {
+                continue;
+            }
+            let at = match self.channel.open_row_flat(flat) {
+                Some(open) if open == r.loc.row => {
+                    self.channel.earliest_column_flat(flat, r.is_write())
+                }
+                Some(open) => {
+                    if self.queue.any_hit_for(flat, open) {
+                        // The hit holder's own column fold covers this
+                        // μbank's next state change.
+                        continue;
+                    }
+                    self.channel.earliest_precharge_flat(flat)
+                }
+                None => self.channel.earliest_activate_flat(flat),
+            };
+            if at <= now {
+                return None;
+            }
+            next = next.min(at);
+        }
+        // Policy precharges already promoted into the due set.
+        for &flat in &self.pre_due {
+            let at = self.channel.earliest_precharge_flat(flat);
+            if at <= now {
+                return None;
+            }
+            next = next.min(at);
+        }
+        // Armed close deadlines. Drop stale heads eagerly (cheap,
+        // amortized); deeper stale entries are filtered by the
+        // `close_deadline` equality check.
+        while let Some(&Reverse((deadline, flat))) = self.deadline_heap.peek() {
+            if self.close_deadline[flat] != deadline {
+                self.deadline_heap.pop();
+                continue;
+            }
+            break;
+        }
+        for &Reverse((deadline, flat)) in self.deadline_heap.iter() {
+            if self.close_deadline[flat] != deadline {
+                continue;
+            }
+            let at = deadline.max(self.channel.earliest_precharge_flat(flat));
+            if at <= now {
+                return None;
+            }
+            next = next.min(at);
+        }
         Some(next)
+    }
+
+    /// Account `n` tick calls skipped under a [`MemoryController::next_event`]
+    /// horizon: identical stat effect to `n` real no-op `tick` calls at the
+    /// controller's *current* queue depth (exact, because the queue cannot
+    /// change during a skip stretch — callers flush pending skips before
+    /// every `tick` and before every `enqueue`).
+    pub fn account_skipped_ticks(&mut self, n: u64) {
+        let qlen = self.queue.len() as u64;
+        self.stats.tick_calls += n;
+        self.stats.occupancy_acc += qlen * n;
+        self.stats.occupancy_hist.record_n(qlen, n);
+    }
+
+    /// Account `n` enqueue attempts that were rejected while the queue
+    /// was provably full across a skip stretch: the event-driven drive
+    /// jumps over cycles whose only CPU-side action is one failed backlog
+    /// retry against this controller (the queue cannot free a slot
+    /// without a tick, and no tick lands inside the jump), and replays
+    /// the per-attempt reject count here in bulk.
+    pub fn account_rejected(&mut self, n: u64) {
+        debug_assert!(self.queue.is_full(), "bulk rejects on a non-full queue");
+        self.stats.rejected += n;
     }
 
     /// Account `n` tick calls that were skipped as provably idle (queue
     /// empty, nothing issued): identical stat effect to `n` real `tick`
     /// calls on an idle controller.
     pub fn account_idle_ticks(&mut self, n: u64) {
-        self.stats.tick_calls += n;
-        self.stats.occupancy_hist.record_n(0, n);
+        debug_assert!(self.queue.is_empty(), "idle accounting on a busy queue");
+        self.account_skipped_ticks(n);
     }
 
     /// The policy's speculative-decision hit rate (Fig. 13 right axis).

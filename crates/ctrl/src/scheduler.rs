@@ -109,6 +109,18 @@ impl Scheduler {
         self.marked.remove(&id);
     }
 
+    /// Would the next [`Scheduler::maybe_form_batch`] call actually form
+    /// a batch? Formation snapshots the queue *at the forming tick*, so
+    /// its timing is observable: the controller's event horizon must
+    /// demand a real tick whenever a formation is pending, or a request
+    /// arriving before the deferred tick would be marked into a batch
+    /// that the per-cycle reference formed without it (DESIGN §5f).
+    pub fn would_form_batch(&self, queue: &RequestQueue) -> bool {
+        matches!(self.kind, SchedulerKind::ParBs { .. })
+            && self.marked.is_empty()
+            && !queue.is_empty()
+    }
+
     /// Form a new batch if the current one is exhausted (PAR-BS only).
     /// Uses each entry's cached flat μbank index ([`MemRequest::flat`],
     /// stamped by the queue on push).

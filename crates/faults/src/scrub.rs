@@ -36,6 +36,13 @@ impl Scrubber {
         now >= self.next_due
     }
 
+    /// Cycle at which the next scrub becomes due. Lets the controller's
+    /// `next_event` fold the patrol schedule into its sleep horizon
+    /// instead of refusing to skip whenever a fault engine is armed.
+    pub fn next_due(&self) -> Cycle {
+        self.next_due
+    }
+
     /// Current walk target.
     pub fn target(&self) -> (u32, u32) {
         (self.flat, self.row)

@@ -253,6 +253,10 @@ struct Params {
     /// waits. Wall-clock observation only — never fed back into the
     /// simulated machine, so results are bit-identical either way.
     spans: bool,
+    /// Event-driven controller skipping (`SimConfig::effective_time_skip`):
+    /// workers sleep each controller on its `next_event` horizon. Off,
+    /// every controller ticks every slot (the per-cycle reference path).
+    skip: bool,
 }
 
 /// Wall-clock accounting one worker hands back for span grafting.
@@ -377,6 +381,13 @@ fn worker_loop(
             while st[i].pending.front().is_some_and(|op| op.cycle < cycle) {
                 let op = st[i].pending.pop_front().unwrap();
                 fire(&ctrls, &mut st[i], i, op.cycle);
+                // Flush skipped-slot accounting at the pre-enqueue queue
+                // depth (slots skipped so far all predate this arrival —
+                // mailbox ops replay in cycle order per channel).
+                let pending_skips = std::mem::take(&mut st[i].skipped);
+                if pending_skips > 0 {
+                    ctrls[i].account_skipped_ticks(pending_skips);
+                }
                 let ok = ctrls[i].enqueue(op.req, op.cycle);
                 assert_eq!(
                     ok, op.accepted,
@@ -385,19 +396,29 @@ fn worker_loop(
                     st[i].chan, op.cycle
                 );
                 if ok {
-                    st[i].wake = 0;
+                    st[i].wake = op.cycle;
                 }
             }
             fire(&ctrls, &mut st[i], i, cycle);
             if st[i].wake > cycle {
                 st[i].skipped += 1;
             } else {
+                let pending_skips = std::mem::take(&mut st[i].skipped);
+                if pending_skips > 0 {
+                    ctrls[i].account_skipped_ticks(pending_skips);
+                }
                 ctrls[i].tick(cycle);
                 ctrls[i].take_completions(&mut tmp);
                 for comp in tmp.drain(..) {
                     batch.push((cycle, st[i].chan, comp));
                 }
-                st[i].wake = ctrls[i].idle_until(cycle).unwrap_or(0);
+                // `None` maps to `cycle + 1` — a real wake cycle, never a
+                // sentinel a legitimate wake value could alias.
+                st[i].wake = if p.skip {
+                    ctrls[i].next_event(cycle).unwrap_or(cycle + 1)
+                } else {
+                    cycle + 1
+                };
             }
         }
         if !batch.is_empty() {
@@ -443,14 +464,20 @@ fn worker_loop(
         while let Some(op) = st[i].pending.pop_front() {
             debug_assert!(op.cycle < p.total);
             fire(&ctrls, &mut st[i], i, op.cycle);
+            // Every slot skipped so far predates this trailing arrival:
+            // flush at the pre-enqueue queue depth, like the main loop.
+            let pending_skips = std::mem::take(&mut st[i].skipped);
+            if pending_skips > 0 {
+                ctrls[i].account_skipped_ticks(pending_skips);
+            }
             let ok = ctrls[i].enqueue(op.req, op.cycle);
             assert_eq!(ok, op.accepted, "shard replay diverged in final drain");
             if ok {
-                st[i].wake = 0;
+                st[i].wake = op.cycle;
             }
         }
         fire(&ctrls, &mut st[i], i, p.total);
-        ctrls[i].account_idle_ticks(st[i].skipped);
+        ctrls[i].account_skipped_ticks(st[i].skipped);
     }
     me.done.store(DONE_FINAL, Ordering::Release);
 
@@ -716,6 +743,7 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
         epoch_cycles: cfg.telemetry.map_or(0, |tc| tc.epoch_cycles),
         test_stall: cfg.test_stall_shard,
         spans: cfg.spans,
+        skip: cfg.effective_time_skip(),
     };
     debug_assert!(cfg.cmp.noc_latency >= p.stride, "dispatcher invariant");
     let map = ctrls[0].map().clone();

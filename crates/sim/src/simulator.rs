@@ -74,6 +74,16 @@ pub struct SimConfig {
     /// but never feed back into the simulated machine, so results are
     /// bit-identical with tracing on or off.
     pub spans: bool,
+    /// Event-driven time skipping: when on (the default), the sequential
+    /// drive advances `now` in jumps to the earliest component wake time
+    /// (controller `next_event` horizons, CPU/NoC horizon, pending fill
+    /// deliveries) instead of ticking through provably-quiet cycles, and
+    /// both drive loops sleep controllers on their busy-horizon instead of
+    /// only when fully idle. `None` defers to the `MICROBANK_NO_SKIP`
+    /// environment variable (set non-`0` to force the per-cycle reference
+    /// path). Results are bit-identical either way — skipping only changes
+    /// wall-clock time (DESIGN §5f).
+    pub time_skip: Option<bool>,
     /// Test hook: make shard worker 0 stop sealing slots at this stride
     /// slot, simulating a wedged worker so the watchdog path can be
     /// exercised deterministically. Never set outside tests.
@@ -99,6 +109,7 @@ impl SimConfig {
             threads: None,
             watchdog_timeout_ms: 60_000,
             spans: false,
+            time_skip: None,
             test_stall_shard: None,
         }
     }
@@ -148,6 +159,25 @@ impl SimConfig {
     pub fn with_spans(mut self, on: bool) -> Self {
         self.spans = on;
         self
+    }
+
+    /// Pin event-driven time skipping on or off for this run (overrides
+    /// the `MICROBANK_NO_SKIP` environment variable).
+    pub fn with_time_skip(mut self, on: bool) -> Self {
+        self.time_skip = Some(on);
+        self
+    }
+
+    /// Resolved time-skip setting: the explicit `time_skip` field, else
+    /// off when the `MICROBANK_NO_SKIP` environment variable is set
+    /// non-empty and non-`0`, else on.
+    pub fn effective_time_skip(&self) -> bool {
+        self.time_skip.unwrap_or_else(|| {
+            !std::env::var("MICROBANK_NO_SKIP").is_ok_and(|v| {
+                let v = v.trim();
+                !v.is_empty() && v != "0"
+            })
+        })
     }
 
     /// Resolved worker-thread count: the explicit `threads` field, else the
@@ -959,15 +989,20 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
     let mut enqueue_time = EnqueueSlab::new();
     let mut read_lat_samples: u64 = 0;
 
-    // Idle-skip state: `ctrl_wake[i]` is the first cycle at which
-    // controller `i`'s tick could do anything (0 = must tick). Skipped
-    // stride slots are counted and accounted in bulk after the loop —
-    // a skipped tick is by construction a stats-only no-op.
+    // Event-skip state: `ctrl_wake[i]` is the first cycle at which
+    // controller `i`'s tick could do anything beyond stats accounting
+    // (its `next_event` horizon; an accepted enqueue resets it to the
+    // arrival cycle). Skipped stride slots accumulate in `ctrl_skipped`
+    // and are flushed — at the then-current queue depth — before every
+    // tick, before every enqueue, and at loop end, which makes the bulk
+    // accounting bit-identical to per-cycle ticking (DESIGN §5f).
+    let skip = cfg.effective_time_skip();
     let mut ctrl_wake: Vec<Cycle> = vec![0; ctrls.len()];
     let mut ctrl_skipped: Vec<u64> = vec![0; ctrls.len()];
 
     tracer.enter("warmup");
-    for now in 0..total {
+    let mut now: Cycle = 0;
+    while now < total {
         if now == cfg.warmup_cycles {
             tracer.exit(); // warmup
             tracer.enter("measure");
@@ -997,16 +1032,27 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
         // Controllers issue commands on their slot cadence. A controller
         // that proved itself idle sleeps until its wake cycle (or until an
         // enqueue resets it — see `TrackingRouter::submit`).
-        if now % cfg.ctrl_stride == 0 {
+        if now.is_multiple_of(cfg.ctrl_stride) {
             let t0 = fine.then(std::time::Instant::now);
             for (i, c) in ctrls.iter_mut().enumerate() {
                 if ctrl_wake[i] > now {
                     ctrl_skipped[i] += 1;
                     continue;
                 }
+                let pending = std::mem::take(&mut ctrl_skipped[i]);
+                if pending > 0 {
+                    c.account_skipped_ticks(pending);
+                }
                 c.tick(now);
                 c.take_completions(&mut completions);
-                ctrl_wake[i] = c.idle_until(now).unwrap_or(0);
+                // `None` ("might act next tick") maps to `now + 1`, a real
+                // wake cycle — never a sentinel a legitimate wake value
+                // could alias.
+                ctrl_wake[i] = if skip {
+                    c.next_event(now).unwrap_or(now + 1)
+                } else {
+                    now + 1
+                };
             }
             for comp in completions.drain(..) {
                 if comp.is_write {
@@ -1044,6 +1090,7 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
                 ctrls: &mut ctrls,
                 enqueue_time: &mut enqueue_time,
                 ctrl_wake: &mut ctrl_wake,
+                ctrl_skipped: &mut ctrl_skipped,
             };
             cmp.on_fill(d.id, now, &mut router);
         }
@@ -1052,11 +1099,12 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
             ctrls: &mut ctrls,
             enqueue_time: &mut enqueue_time,
             ctrl_wake: &mut ctrl_wake,
+            ctrl_skipped: &mut ctrl_skipped,
         };
         cmp.tick(now, &mut router);
 
         // Close the epoch ending with this cycle.
-        if epoch_cycles > 0 && (now + 1) % epoch_cycles == 0 {
+        if epoch_cycles > 0 && (now + 1).is_multiple_of(epoch_cycles) {
             let agg = merged_stats(&ctrls);
             let d = stats_delta(&agg, &epoch_stats);
             epoch_stats = agg;
@@ -1092,6 +1140,71 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
                 .expect("epoch implies timeline")
                 .push(now + 1, row);
         }
+
+        // Event-driven time skip: jump `now` to the earliest cycle any
+        // component can act. Every cycle strictly inside the jump is
+        // provably quiet — the CPU horizon covers all cores and the
+        // backlog, the delivery heap's top bounds fill arrivals, and each
+        // skipped controller slot lands strictly before its owner's wake —
+        // so replaying them is pure bulk stats accounting.
+        let next = now + 1;
+        now = if !skip || next >= total {
+            next
+        } else {
+            let mut h = cmp.core_horizon(now);
+            // A non-empty submit backlog does not pin the clock: only the
+            // head is retried each cycle, and against a *full* queue every
+            // retry inside the jump provably fails (freeing a slot takes a
+            // tick, and the wake fold below lands the jump no later than
+            // that controller's next executed slot). Replay the failed
+            // attempts in bulk; a head facing a non-full queue succeeds on
+            // the very next cycle, so no jump.
+            let mut backlog_ch = usize::MAX;
+            if h > next {
+                if let Some(addr) = cmp.backlog_head_addr() {
+                    let ch = ctrls[0].map().decode(addr).channel as usize;
+                    if ctrls[ch].free_slots() == 0 {
+                        backlog_ch = ch;
+                    } else {
+                        h = next;
+                    }
+                }
+            }
+            if h > next {
+                if let Some(d) = deliveries.peek() {
+                    h = h.min(d.at.max(next));
+                }
+                for &w in &ctrl_wake {
+                    let slot = w
+                        .max(next)
+                        .checked_next_multiple_of(cfg.ctrl_stride)
+                        .unwrap_or(Cycle::MAX);
+                    h = h.min(slot);
+                }
+                if now < cfg.warmup_cycles {
+                    h = h.min(cfg.warmup_cycles);
+                }
+                if epoch_cycles > 0 {
+                    // Smallest c ≥ next whose epoch closes at c (the body
+                    // runs the close when `(now + 1) % epoch == 0`).
+                    h = h.min((next + 1).div_ceil(epoch_cycles) * epoch_cycles - 1);
+                }
+                h = h.min(total);
+            }
+            if h > next {
+                cmp.account_skipped_cycles(h - next);
+                if backlog_ch != usize::MAX {
+                    ctrls[backlog_ch].account_rejected(h - next);
+                }
+                let slots = (h - 1) / cfg.ctrl_stride - (next - 1) / cfg.ctrl_stride;
+                if slots > 0 {
+                    for s in &mut ctrl_skipped {
+                        *s += slots;
+                    }
+                }
+            }
+            h.max(next)
+        };
     }
     tracer.exit(); // measure
 
@@ -1103,10 +1216,11 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
         tracer.add_ns("cpu-and-noc", drive_ns.saturating_sub(ctrl_ns), 1);
     }
 
-    // Fold skipped idle slots back into controller stats so occupancy
-    // accounting is identical to per-cycle ticking.
+    // Fold any remaining skipped slots back into controller stats so
+    // occupancy accounting is identical to per-cycle ticking (the queue
+    // cannot have changed since the last flush point).
     for (c, &n) in ctrls.iter_mut().zip(&ctrl_skipped) {
-        c.account_idle_ticks(n);
+        c.account_skipped_ticks(n);
     }
 
     DriveOutput {
@@ -1153,17 +1267,26 @@ pub fn golden_fingerprint(r: &SimResult) -> [u64; 13] {
 }
 
 /// Router that also records enqueue times for read-latency accounting and
-/// wakes idle-skipped controllers on arrival.
+/// wakes event-skipped controllers on arrival.
 struct TrackingRouter<'a> {
     ctrls: &'a mut [MemoryController],
     enqueue_time: &'a mut EnqueueSlab,
     ctrl_wake: &'a mut [Cycle],
+    ctrl_skipped: &'a mut [u64],
 }
 
 impl MemPort for TrackingRouter<'_> {
     fn submit(&mut self, req: SubmittedReq, now: Cycle) -> bool {
         let loc = self.ctrls[0].map().decode(req.addr);
-        let ctrl = &mut self.ctrls[loc.channel as usize];
+        let ch = loc.channel as usize;
+        let ctrl = &mut self.ctrls[ch];
+        // Flush skipped-slot accounting at the pre-enqueue queue depth:
+        // every slot skipped so far saw the queue as it stands right now,
+        // and the enqueue below is about to change it.
+        let pending = std::mem::take(&mut self.ctrl_skipped[ch]);
+        if pending > 0 {
+            ctrl.account_skipped_ticks(pending);
+        }
         let kind = if req.is_write {
             ReqKind::Write
         } else {
@@ -1176,7 +1299,9 @@ impl MemPort for TrackingRouter<'_> {
             // Writes are tracked too (and consumed at completion) so the
             // slab's base is never pinned by an id that will never arrive.
             self.enqueue_time.insert(req.id, now);
-            self.ctrl_wake[loc.channel as usize] = 0;
+            // The arrival invalidates any previously proven horizon; the
+            // wake value is the arrival cycle itself, never a sentinel.
+            self.ctrl_wake[ch] = now;
         }
         ok
     }

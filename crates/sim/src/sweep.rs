@@ -184,6 +184,7 @@ impl SweepRunner {
         let mut c = cfg.clone();
         c.threads = None;
         c.spans = false;
+        c.time_skip = None;
         c.test_stall_shard = None;
         let rendered = format!("{c:?}");
         let mut h = 0xcbf29ce484222325u64;
@@ -583,6 +584,7 @@ mod tests {
         threaded.threads = Some(8);
         threaded.test_stall_shard = Some(3);
         threaded.spans = true;
+        threaded.time_skip = Some(false);
         assert_eq!(fp0, SweepRunner::config_fingerprint(&threaded));
         let mut different = base.clone();
         different.seed ^= 1;

@@ -347,6 +347,52 @@ fn clean_fault_engine_reproduces_golden_fingerprint() {
     }
 }
 
+/// The event-driven time-skip core (DESIGN §5f) defaults on, so the
+/// fingerprint table above is continuously validated against the skipping
+/// path. This test pins the other side: disabling skipping via the config
+/// knob reproduces the same committed fingerprints with pure per-cycle
+/// ticking, so the two drive modes can never drift apart silently. (The
+/// CI job that reruns this suite under `MICROBANK_NO_SKIP=1` covers the
+/// environment override.)
+#[test]
+fn per_cycle_reference_reproduces_golden_fingerprints() {
+    for &(part, sched, policy) in &[
+        ("1x1", "frfcfs", "open"),
+        ("8x8", "parbs", "pred"),
+        ("8x8", "frfcfs", "close"),
+    ] {
+        let want = GOLDEN
+            .iter()
+            .find(|g| g.0 == part && g.1 == sched && g.2 == policy)
+            .map(|g| g.3)
+            .unwrap();
+        let r = run(&config_for(part, sched, policy).with_time_skip(false));
+        assert_eq!(
+            golden_fingerprint(&r),
+            want,
+            "{part}/{sched}/{policy}: per-cycle reference diverged from golden"
+        );
+    }
+}
+
+/// Satellite of the `faults.is_some()` horizon fix: a clean-*armed* fault
+/// engine (ECC on, no scrubber) no longer pins the controller to
+/// per-cycle ticking, and the skipping run is fingerprint-identical to
+/// the per-cycle reference with the same engine attached.
+#[test]
+fn clean_armed_fault_engine_is_skip_neutral() {
+    for &(part, sched, policy) in &[("8x8", "parbs", "pred"), ("1x1", "frfcfs", "open")] {
+        let mk = || config_for(part, sched, policy).with_faults(FaultConfig::new(7));
+        let per_cycle = run(&mk().with_time_skip(false));
+        let skipping = run(&mk().with_time_skip(true));
+        assert_eq!(
+            golden_fingerprint(&per_cycle),
+            golden_fingerprint(&skipping),
+            "{part}/{sched}/{policy}: clean-armed engine diverged across the skip axis"
+        );
+    }
+}
+
 /// With faults armed at a fixed seed, repeat runs must be bit-identical:
 /// same fingerprint AND same reliability counters. Fault sampling, ECC
 /// verdicts, retries, scrub scheduling, and retirement are all seeded

@@ -279,6 +279,66 @@ fn run_many_checked_captures_per_slot_failures() {
     }
 }
 
+/// Event-driven time skipping (DESIGN §5f) is a pure reordering of when
+/// work executes, never of what executes: the per-cycle reference run
+/// must be reproduced bit-for-bit — every result field, the epoch
+/// time-series, the per-μbank heat maps, and the command trace — by the
+/// skipping run at every combination of worker count and span tracing.
+/// This is the full skip-granularity cross: {skip on, skip off} ×
+/// {1, 2 workers} × {traced, untraced}.
+#[test]
+fn time_skip_is_behavior_neutral_at_every_worker_count() {
+    let cfg = multi_channel_cfg().with_telemetry(TelemetryConfig::new(2_500, 4_096));
+    let (r_ref, t_ref) = run_instrumented(&cfg.clone().with_threads(1).with_time_skip(false));
+    for workers in [1usize, 2] {
+        for spans in [false, true] {
+            let on = cfg
+                .clone()
+                .with_threads(workers)
+                .with_time_skip(true)
+                .with_spans(spans);
+            let (r_on, t_on) = run_instrumented(&on);
+            let tag = format!("skip on, {workers} workers, spans {spans}");
+            assert_results_identical(&r_ref, &r_on, &tag);
+            assert_eq!(
+                t_ref.timeline.to_csv(),
+                t_on.timeline.to_csv(),
+                "{tag}: epoch time-series diverged"
+            );
+            for (ch, (a, b)) in t_ref.heat.iter().zip(&t_on.heat).enumerate() {
+                assert_eq!(
+                    a.to_csv(),
+                    b.to_csv(),
+                    "{tag}: channel {ch} heat map diverged"
+                );
+            }
+            assert_eq!(t_ref.trace, t_on.trace, "{tag}: command trace diverged");
+        }
+    }
+    // Close the cross: per-cycle ticking under the sharded drive matches
+    // the sequential per-cycle reference too.
+    let (r_off2, t_off2) = run_instrumented(&cfg.clone().with_threads(2).with_time_skip(false));
+    assert_results_identical(&r_ref, &r_off2, "skip off, 2 workers");
+    assert_eq!(
+        t_ref.trace, t_off2.trace,
+        "skip off, 2 workers: command trace diverged"
+    );
+}
+
+/// The skip axis composes with the reliability engine: a stress fault
+/// configuration (defects, flips, scrubber armed) runs largely per-cycle
+/// — the scrub schedule and demand retries pin the horizon — but whatever
+/// skipping remains must still be invisible at every worker count.
+#[test]
+fn time_skip_is_behavior_neutral_under_faults() {
+    let cfg = multi_channel_cfg().with_faults(FaultConfig::stress(0xFA_017));
+    let seq = run(&cfg.clone().with_threads(1).with_time_skip(false));
+    for workers in [1usize, 2] {
+        let skip = run(&cfg.clone().with_threads(workers).with_time_skip(true));
+        assert_results_identical(&seq, &skip, &format!("faults, skip on, {workers} workers"));
+    }
+}
+
 /// Thread-count resolution precedence: an explicit `threads` setting wins;
 /// the unset default is sequential (the environment override is covered by
 /// the CI job that runs this whole suite under `MICROBANK_THREADS=2`).

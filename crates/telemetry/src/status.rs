@@ -34,17 +34,63 @@ impl StatusShared {
     }
 
     /// Replace the document served at `/status`.
+    ///
+    /// A thread that panicked mid-update (e.g. a crashing sweep slot)
+    /// poisons the mutex; the status surface is diagnostic read-only
+    /// state, so both accessors recover the guard — serving the
+    /// last-known document — and log a `warn` instead of propagating the
+    /// panic into the producer or the server thread.
     pub fn set_status_json(&self, s: String) {
-        *self.status_json.lock().unwrap() = s;
+        let mut g = self.status_json.lock().unwrap_or_else(|poisoned| {
+            warn_poisoned("set_status_json");
+            poisoned.into_inner()
+        });
+        *g = s;
     }
 
     pub fn status_json(&self) -> String {
-        self.status_json.lock().unwrap().clone()
+        self.status_json
+            .lock()
+            .unwrap_or_else(|poisoned| {
+                warn_poisoned("status_json");
+                poisoned.into_inner()
+            })
+            .clone()
     }
 
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
     }
+
+    /// Poison the status mutex the only way a mutex gets poisoned: by
+    /// panicking while holding the guard. Production code never holds
+    /// the guard across fallible work, so the recovery paths can only be
+    /// exercised by a deliberately crashing thread.
+    #[cfg(test)]
+    fn poison_for_test(self: &Arc<Self>) {
+        let me = Arc::clone(self);
+        let res = std::thread::Builder::new()
+            .name("poisoner".to_string())
+            .spawn(move || {
+                let _guard = me.status_json.lock().unwrap();
+                panic!("deliberate poison");
+            })
+            .unwrap()
+            .join();
+        assert!(res.is_err(), "poisoner thread must panic");
+    }
+}
+
+/// A poisoned status mutex means some slot panicked while holding it;
+/// the document itself (a whole `String` swap) is never torn, so keep
+/// serving and leave a trail in the event log.
+fn warn_poisoned(site: &str) {
+    crate::event::emit(
+        crate::Level::Warn,
+        "telemetry::status",
+        "status mutex poisoned by a panicked producer; serving last-known document",
+        &[("site", site.into())],
+    );
 }
 
 /// Handle to a running server; stops (thread joined) on drop.
@@ -223,5 +269,31 @@ mod tests {
         // the OS to tear down; connection may succeed but read fails, so
         // just assert the request no longer round-trips).
         assert!(http_get(&addr, "/status").is_err());
+    }
+
+    /// A producer thread that panics while updating poisons the status
+    /// mutex. The surface is diagnostic-only, so both accessors must
+    /// recover: `/status` keeps serving the last-known document instead
+    /// of killing the server thread, and later updates still land.
+    #[test]
+    fn poisoned_status_mutex_serves_last_known_document() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let shared = StatusShared::new(Arc::clone(&metrics));
+        shared.set_status_json("{\"state\":\"running\"}".to_string());
+        shared.poison_for_test();
+
+        // Reader recovers and sees the pre-poison document.
+        assert_eq!(shared.status_json(), "{\"state\":\"running\"}");
+
+        // The server thread survives requests against the poisoned lock.
+        let server = StatusServer::start("127.0.0.1:0", Arc::clone(&shared)).unwrap();
+        let addr = server.local_addr();
+        let status = http_get(&addr, "/status").unwrap();
+        assert!(status.contains("running"), "lost document: {status}");
+
+        // Writer recovers too: updates keep flowing after the poison.
+        shared.set_status_json("{\"state\":\"done\"}".to_string());
+        let status = http_get(&addr, "/status").unwrap();
+        assert!(status.contains("done"), "post-poison update lost: {status}");
     }
 }
