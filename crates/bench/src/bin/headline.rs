@@ -68,7 +68,9 @@ fn real_main() -> Result<(), SimError> {
     );
     println!();
     let ipc_ratio = ub[0] / base[0];
-    let edp_ratio = base[7] / ub[7];
+    // EDP-per-work rides after the summary columns (pushed above).
+    let edp_i = summary_columns().len();
+    let edp_ratio = base[edp_i] / ub[edp_i];
     println!("  IPC improvement:   {ipc_ratio:.2}x   (paper: 1.62x)");
     println!("  1/EDP improvement: {edp_ratio:.2}x   (paper: 4.80x)");
 

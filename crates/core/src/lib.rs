@@ -88,7 +88,7 @@ pub mod prelude {
     pub use crate::geometry::{DeviceGeometry, UbankConfig};
     pub use crate::hist::Histogram;
     pub use crate::organization::Organization;
-    pub use crate::request::{MemRequest, ReqKind};
+    pub use crate::request::{MemRequest, ReqKind, TenantId};
     pub use crate::stats::DramStats;
     pub use crate::timing::{TimingParams, Timings};
     pub use crate::validate::ConfigError;

@@ -5,6 +5,24 @@ use crate::address::Location;
 use crate::Cycle;
 use serde::{Deserialize, Serialize};
 
+/// Identity of the tenant (co-located service) a request belongs to.
+///
+/// Tenant 0 is the default: single-tenant workloads never set anything
+/// else, and every struct carrying a `TenantId` derives `Default`, so the
+/// tag is invisible (and result-neutral) until a multi-tenant workload
+/// stamps it. The QoS subsystem in `microbank-ctrl` keys its per-tenant
+/// token buckets and the per-tenant telemetry on this tag.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct TenantId(pub u8);
+
+impl TenantId {
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
 /// Read or write, as seen by the main memory (a writeback or a line fill).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ReqKind {
@@ -40,6 +58,9 @@ pub struct MemRequest {
     /// Set when a corrected-ECC demand retry has already re-issued this
     /// read (reliability subsystem); a request is retried at most once.
     pub retried: bool,
+    /// Owning tenant, stamped by the workload layer and carried through
+    /// the cache hierarchy. Defaults to tenant 0 for single-tenant runs.
+    pub tenant: TenantId,
 }
 
 impl MemRequest {
@@ -61,6 +82,7 @@ impl MemRequest {
             },
             flat: 0,
             retried: false,
+            tenant: TenantId::default(),
         }
     }
 
@@ -79,6 +101,13 @@ mod tests {
         assert!(r.is_write());
         assert_eq!(r.thread, 3);
         assert_eq!(r.arrival, 42);
+    }
+
+    #[test]
+    fn tenant_defaults_to_zero() {
+        let r = MemRequest::new(1, 0x40, ReqKind::Read, 0, 0);
+        assert_eq!(r.tenant, TenantId(0));
+        assert_eq!(TenantId(3).index(), 3);
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! `microbank-workloads`) synthesize these streams to match application
 //! profiles (MAPKI, locality, read/write mix).
 
+use microbank_core::request::TenantId;
+
 /// One instruction slot as seen by the core model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Instr {
@@ -20,6 +22,15 @@ pub trait InstrSource {
     /// Produce the next instruction. Streams never end; fixed-length
     /// experiments stop after N commits.
     fn next_instr(&mut self) -> Instr;
+
+    /// The tenant this stream belongs to. Workload generators override
+    /// this for multi-tenant mixes; the default keeps every single-tenant
+    /// source on `TenantId(0)`. The CMP samples it once at construction
+    /// (a core's tenant is fixed for a run) and stamps it into every
+    /// memory request the core emits.
+    fn tenant(&self) -> TenantId {
+        TenantId::default()
+    }
 }
 
 /// A trivial source for tests: `mapki` memory accesses per kilo-instruction,

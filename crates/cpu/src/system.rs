@@ -14,6 +14,7 @@ use crate::mshr::MshrFile;
 use crate::prefetch::StreamPrefetcher;
 use crate::rob::{Core, MemOutcome, StallKind};
 use microbank_core::fxhash::{FxHashMap, FxHashSet};
+use microbank_core::request::TenantId;
 use microbank_core::Cycle;
 use std::collections::VecDeque;
 
@@ -25,6 +26,10 @@ pub struct SubmittedReq {
     pub is_write: bool,
     /// Issuing core (hardware thread) — consumed by PAR-BS batching.
     pub thread: u16,
+    /// Owning tenant (from the issuing core's instruction source) —
+    /// consumed by the controller's QoS regulator. `TenantId(0)` in
+    /// single-tenant runs.
+    pub tenant: TenantId,
 }
 
 /// The CMP's window to the memory controllers (implemented by the sim).
@@ -77,6 +82,9 @@ struct Uncore {
     backlog: VecDeque<SubmittedReq>,
     next_id: u64,
     stats: SystemStats,
+    /// Per-core tenant table, sampled once from the instruction sources at
+    /// construction; indexed by core (== hardware thread) id.
+    tenants: Vec<TenantId>,
 }
 
 impl Uncore {
@@ -89,6 +97,14 @@ impl Uncore {
         cluster * k..(cluster * k + k).min(self.l1.len())
     }
 
+    /// Tenant owning hardware thread `thread` (core index).
+    fn tenant_of(&self, thread: u16) -> TenantId {
+        self.tenants
+            .get(thread as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
     /// Send (or queue) a posted memory write.
     fn post_write(&mut self, line: u64, thread: u16, now: Cycle, port: &mut dyn MemPort) {
         let req = SubmittedReq {
@@ -96,6 +112,7 @@ impl Uncore {
             addr: line,
             is_write: true,
             thread,
+            tenant: self.tenant_of(thread),
         };
         self.next_id += 1;
         self.stats.dram_writes += 1;
@@ -214,6 +231,7 @@ impl Uncore {
                 addr: pf,
                 is_write: false,
                 thread: core as u16,
+                tenant: self.tenant_of(core as u16),
             };
             if !self.backlog.is_empty() || !port.submit(req, now) {
                 self.backlog.push_back(req);
@@ -362,6 +380,7 @@ impl Uncore {
                     addr: line,
                     is_write: false,
                     thread: core as u16,
+                    tenant: self.tenant_of(core as u16),
                 };
                 self.stats.dram_reads += 1;
                 if !self.backlog.is_empty() || !port.submit(req, now) {
@@ -405,6 +424,7 @@ impl<S: InstrSource> CmpSystem<S> {
             .map(|i| Core::new(i as u16, cfg.rob_entries, cfg.issue_width, cfg.alu_latency))
             .collect();
         let clusters = cfg.clusters();
+        let tenants = sources.iter().map(|s| s.tenant()).collect();
         CmpSystem {
             cfg,
             cores,
@@ -432,6 +452,7 @@ impl<S: InstrSource> CmpSystem<S> {
                 backlog: VecDeque::new(),
                 next_id: 0,
                 stats: SystemStats::default(),
+                tenants,
             },
         }
     }

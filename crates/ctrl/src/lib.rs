@@ -10,11 +10,15 @@
 //!   [`predictor`]),
 //! * the command-generation engine that drives a
 //!   [`microbank_core::channel::Channel`] while obeying every timing
-//!   constraint, plus refresh handling ([`controller`]).
+//!   constraint, plus refresh handling ([`controller`]),
+//! * multi-tenant QoS regulation — per-tenant token-bucket bandwidth
+//!   budgets at channel or μbank granularity plus a tenant-priority axis
+//!   in the scheduler ([`qos`]).
 
 pub mod controller;
 pub mod policy;
 pub mod predictor;
+pub mod qos;
 pub mod queue;
 pub mod scheduler;
 
@@ -23,6 +27,9 @@ pub use policy::{PagePolicy, PolicyKind};
 pub use predictor::{
     BimodalCounter, GlobalPredictor, LocalPredictor, PageDecision, PredictorKind, PredictorStats,
     TournamentPredictor,
+};
+pub use qos::{
+    tenant_slot, QosConfig, QosGranularity, QosRegulator, QosStats, TenantPolicy, MAX_TENANTS,
 };
 pub use queue::RequestQueue;
 pub use scheduler::SchedulerKind;

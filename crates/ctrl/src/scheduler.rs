@@ -10,7 +10,9 @@
 //! spatial locality that can be extracted from the request queue", §VI-C),
 //! and age breaks ties.
 
+use crate::qos::{tenant_slot, MAX_TENANTS};
 use crate::queue::{FxBuild, RequestQueue};
+use microbank_core::request::TenantId;
 use microbank_core::Cycle;
 use std::collections::{HashMap, HashSet};
 
@@ -50,6 +52,9 @@ pub struct Candidate {
     pub id: u64,
     pub thread: u16,
     pub arrival: Cycle,
+    /// Owning tenant (always `TenantId(0)` outside multi-tenant runs);
+    /// consulted only when a QoS priority table is installed.
+    pub tenant: TenantId,
 }
 
 /// Stateful scheduler (batch bookkeeping for PAR-BS).
@@ -73,6 +78,11 @@ pub struct Scheduler {
     per_pair: HashMap<(u16, u32), usize, FxBuild>,
     per_thread: HashMap<u16, u32, FxBuild>,
     threads: Vec<(u16, u32)>,
+    /// Per-tenant scheduling priority (lower wins), installed by the QoS
+    /// subsystem. All-zero (the default) contributes a constant to the
+    /// selection key, so single-tenant and QoS-off runs are bit-identical
+    /// to the pre-QoS scheduler.
+    tenant_prio: [u8; MAX_TENANTS],
 }
 
 impl Scheduler {
@@ -86,7 +96,14 @@ impl Scheduler {
             per_pair: HashMap::default(),
             per_thread: HashMap::default(),
             threads: Vec::new(),
+            tenant_prio: [0; MAX_TENANTS],
         }
+    }
+
+    /// Install the QoS tenant-priority table (see
+    /// [`crate::qos::QosConfig::priorities`]).
+    pub fn set_tenant_priorities(&mut self, prio: [u8; MAX_TENANTS]) {
+        self.tenant_prio = prio;
     }
 
     pub fn kind(&self) -> SchedulerKind {
@@ -167,12 +184,23 @@ impl Scheduler {
     }
 
     /// Choose the best candidate to issue this cycle. Priority (highest
-    /// first): batch-marked, row-hit (Column action), thread rank, age.
+    /// first): batch-marked, QoS tenant priority, row-hit (Column action),
+    /// thread rank, age. The tenant axis sits inside the batch boundary —
+    /// PAR-BS's starvation bound survives prioritization — but above
+    /// row-hit ordering, so a latency-critical miss beats a batch tenant's
+    /// hit; with no priority table installed it is a constant.
     pub fn select<'a>(&self, candidates: &'a [Candidate]) -> Option<&'a Candidate> {
         candidates.iter().min_by_key(|c| {
             let marked = !self.is_marked(c.id); // false (0) sorts first
             let miss = c.action != Action::Column;
-            (marked, miss, self.rank_of(c.thread), c.arrival, c.id)
+            (
+                marked,
+                self.tenant_prio[tenant_slot(c.tenant)],
+                miss,
+                self.rank_of(c.thread),
+                c.arrival,
+                c.id,
+            )
         })
     }
 }
@@ -206,6 +234,7 @@ mod tests {
                 id: 0,
                 thread: 0,
                 arrival: 0,
+                tenant: TenantId::default(),
             },
             Candidate {
                 idx: 1,
@@ -213,6 +242,7 @@ mod tests {
                 id: 1,
                 thread: 0,
                 arrival: 10,
+                tenant: TenantId::default(),
             },
             Candidate {
                 idx: 2,
@@ -220,6 +250,7 @@ mod tests {
                 id: 2,
                 thread: 1,
                 arrival: 5,
+                tenant: TenantId::default(),
             },
         ];
         let best = s.select(&cands).unwrap();
@@ -295,6 +326,7 @@ mod tests {
                 id: 42,
                 thread: 3,
                 arrival: 100,
+                tenant: TenantId::default(),
             },
             // …vs a marked activate.
             Candidate {
@@ -303,6 +335,7 @@ mod tests {
                 id: 1,
                 thread: 0,
                 arrival: 0,
+                tenant: TenantId::default(),
             },
         ];
         assert_eq!(s.select(&cands).unwrap().id, 1);

@@ -32,10 +32,16 @@ pub use experiment::{
 };
 pub use report::{summarize, summary_columns, Table};
 pub use simulator::{
-    run, run_many, run_many_checked, try_run, try_run_once, DriveMode, SequentialReason, SimConfig,
-    SimResult,
+    run, run_many, run_many_checked, try_run, try_run_once, DriveMode, QosReport, SequentialReason,
+    SimConfig, SimResult, TenantMetrics,
 };
 pub use sweep::{SlotRecord, SlotStatus, SweepRunner, SweepSlot};
+
+// QoS building blocks (DESIGN.md §5g), re-exported so harness binaries
+// can build a `QosConfig` without depending on `microbank-ctrl` directly.
+pub use microbank_ctrl::qos::{
+    tenant_slot, QosConfig, QosGranularity, QosStats, TenantPolicy, MAX_TENANTS,
+};
 
 // Observability building blocks, re-exported so harness binaries need
 // only this crate: span rows ride on `SimResult::profile`, the registry

@@ -122,7 +122,9 @@ pub fn summary_columns() -> Vec<&'static str> {
         "mapki",
         "row_hit_rate",
         "mean_lat",
+        "p50_lat",
         "p95_lat",
+        "p99_lat",
         "mem_power_w",
         "actpre_frac",
     ]
@@ -135,7 +137,9 @@ pub fn summarize(r: &SimResult) -> Vec<f64> {
         r.mapki,
         r.row_hit_rate,
         r.mean_read_latency,
+        r.read_latency_hist.percentile(0.50) as f64,
         r.read_latency_hist.percentile(0.95) as f64,
+        r.read_latency_hist.percentile(0.99) as f64,
         r.memory_power_w().total_w(),
         r.mem_energy.act_pre_fraction(),
     ]

@@ -58,6 +58,7 @@ use microbank_core::stats::DramStats;
 use microbank_core::Cycle;
 use microbank_cpu::system::{CmpSystem, MemPort, SubmittedReq};
 use microbank_ctrl::controller::{Completion, MemoryController};
+use microbank_ctrl::qos::{tenant_slot, MAX_TENANTS};
 use microbank_energy::power::PowerIntegrator;
 use microbank_telemetry::{HeatCounters, SpanTracer, Timeline};
 use parking_lot::Mutex;
@@ -80,6 +81,8 @@ struct ChanSnap {
     boundary: Cycle,
     stats: DramStats,
     qlen: usize,
+    /// Cumulative per-tenant served columns (all-zero when QoS is off).
+    tenant_cols: [u64; MAX_TENANTS],
 }
 
 /// Per-channel warmup-boundary snapshot, open-row adjusted exactly like
@@ -88,6 +91,8 @@ struct WarmupSnap {
     channel: usize,
     stats: DramStats,
     heat: Option<HeatCounters>,
+    /// Cumulative per-tenant served columns at the boundary.
+    tenant_cols: [u64; MAX_TENANTS],
 }
 
 /// Mailboxes owned by one worker thread.
@@ -343,6 +348,7 @@ fn worker_loop(
                 channel: st.chan,
                 stats,
                 heat,
+                tenant_cols: c.tenant_cols(),
             });
         }
         while st.next_epoch <= t {
@@ -352,6 +358,7 @@ fn worker_loop(
                 boundary: st.next_epoch,
                 stats: c.channel.stats,
                 qlen: c.queue_len(),
+                tenant_cols: c.tenant_cols(),
             });
             st.next_epoch += p.epoch_cycles;
         }
@@ -501,6 +508,7 @@ struct PendingRow {
 struct BoundaryAcc {
     stats: DramStats,
     qlens: Vec<usize>,
+    tenant_cols: [u64; MAX_TENANTS],
     seen: usize,
 }
 
@@ -526,6 +534,10 @@ struct Coord<'a> {
     read_latency_acc: u64,
     read_latency_hist: microbank_core::hist::Histogram,
     read_lat_samples: u64,
+    /// Tenant rows the run reports (0 = QoS off); sizes `tenant_hists`.
+    qos_nt: usize,
+    /// Per-tenant read-latency histograms (empty when QoS is off).
+    tenant_hists: Vec<microbank_core::hist::Histogram>,
     noc: Cycle,
     warmup: Cycle,
     /// Watchdog deadline per coordinator wait (`None` = disabled). The
@@ -556,6 +568,10 @@ impl Coord<'_> {
                     self.read_latency_acc += lat;
                     self.read_latency_hist.record(lat);
                     self.read_lat_samples += 1;
+                    if self.qos_nt > 0 {
+                        let t = tenant_slot(comp.tenant).min(self.qos_nt - 1);
+                        self.tenant_hists[t].record(lat);
+                    }
                 }
             }
             self.deliveries.push(Delivery {
@@ -702,6 +718,7 @@ impl MemPort for Coord<'_> {
         };
         let mut r = MemRequest::new(req.id, req.addr, kind, req.thread, now);
         r.loc = loc;
+        r.tenant = req.tenant;
         self.shared.chans[ch].push(EnqOp {
             cycle: now,
             req: r,
@@ -822,6 +839,8 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
                 read_latency_acc: 0,
                 read_latency_hist: microbank_core::hist::Histogram::new(),
                 read_lat_samples: 0,
+                qos_nt: cfg.qos_tenants(),
+                tenant_hists: vec![microbank_core::hist::Histogram::new(); cfg.qos_tenants()],
                 noc: cfg.cmp.noc_latency,
                 warmup: cfg.warmup_cycles,
                 watchdog: (cfg.watchdog_timeout_ms > 0)
@@ -837,6 +856,8 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
             let mut per_core_at_warmup: Vec<u64> = vec![0; cfg.cmp.cores];
             let mut epoch_committed = 0u64;
             let mut epoch_stats_prev = DramStats::default();
+            let mut epoch_tenant_prev = [0u64; MAX_TENANTS];
+            let qos_nt = cfg.qos_tenants();
             let mut pending_rows: VecDeque<PendingRow> = VecDeque::new();
             let mut accs: BTreeMap<Cycle, BoundaryAcc> = BTreeMap::new();
 
@@ -846,6 +867,7 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
                             accs: &mut BTreeMap<Cycle, BoundaryAcc>,
                             pending_rows: &mut VecDeque<PendingRow>,
                             epoch_stats_prev: &mut DramStats,
+                            epoch_tenant_prev: &mut [u64; MAX_TENANTS],
                             timeline: &mut Option<Timeline>| {
                 for ws in &coordless_shared.workers {
                     let snaps = std::mem::take(&mut *ws.snaps.lock());
@@ -853,10 +875,14 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
                         let acc = accs.entry(sn.boundary).or_insert_with(|| BoundaryAcc {
                             stats: DramStats::default(),
                             qlens: vec![0; channels],
+                            tenant_cols: [0; MAX_TENANTS],
                             seen: 0,
                         });
                         acc.stats.merge(&sn.stats);
                         acc.qlens[sn.channel] = sn.qlen;
+                        for (a, v) in acc.tenant_cols.iter_mut().zip(sn.tenant_cols) {
+                            *a += v;
+                        }
                         acc.seen += 1;
                     }
                 }
@@ -893,6 +919,15 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
                     if channels > 1 {
                         row.extend(acc.qlens.iter().map(|&q| q as f64));
                     }
+                    for (cols, prev) in acc
+                        .tenant_cols
+                        .iter()
+                        .zip(epoch_tenant_prev.iter())
+                        .take(qos_nt)
+                    {
+                        row.push((cols - prev) as f64);
+                    }
+                    *epoch_tenant_prev = acc.tenant_cols;
                     timeline
                         .as_mut()
                         .expect("epoch implies timeline")
@@ -954,6 +989,7 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
                         &mut accs,
                         &mut pending_rows,
                         &mut epoch_stats_prev,
+                        &mut epoch_tenant_prev,
                         timeline,
                     );
                 }
@@ -973,6 +1009,7 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
                 &mut accs,
                 &mut pending_rows,
                 &mut epoch_stats_prev,
+                &mut epoch_tenant_prev,
                 timeline,
             );
             assert!(pending_rows.is_empty(), "unfinished epoch rows");
@@ -1024,10 +1061,14 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
                 .collect();
 
             let mut dram_at_warmup = DramStats::default();
+            let mut tenant_cols_at_warmup = [0u64; MAX_TENANTS];
             let mut heat_slots: Vec<Option<HeatCounters>> = vec![None; channels];
             for ws in &shared.workers {
                 for snap in std::mem::take(&mut *ws.warmups.lock()) {
                     dram_at_warmup.merge(&snap.stats);
+                    for (a, v) in tenant_cols_at_warmup.iter_mut().zip(snap.tenant_cols) {
+                        *a += v;
+                    }
                     heat_slots[snap.channel] = snap.heat;
                 }
             }
@@ -1042,6 +1083,8 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
                 read_latency_acc: coord.read_latency_acc,
                 read_latency_hist: coord.read_latency_hist,
                 read_lat_samples: coord.read_lat_samples,
+                tenant_hists: coord.tenant_hists,
+                tenant_cols_at_warmup,
             }
         })
     }));

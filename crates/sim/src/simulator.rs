@@ -11,6 +11,7 @@ use microbank_cpu::config::CmpConfig;
 use microbank_cpu::system::{CmpSystem, MemPort, SubmittedReq};
 use microbank_ctrl::controller::{Completion, MemoryController};
 use microbank_ctrl::policy::PolicyKind;
+use microbank_ctrl::qos::{tenant_slot, QosConfig, QosStats, MAX_TENANTS};
 use microbank_ctrl::scheduler::SchedulerKind;
 use microbank_energy::corepower::CorePowerModel;
 use microbank_energy::energy::EnergyModel;
@@ -51,6 +52,13 @@ pub struct SimConfig {
     /// `microbank-faults`). `None` (the default) keeps the golden path
     /// bit-identical to a build without the subsystem.
     pub faults: Option<FaultConfig>,
+    /// When set, the multi-tenant QoS subsystem is armed: per-tenant
+    /// token-bucket bandwidth regulation (channel or μbank granularity),
+    /// the tenant-priority scheduler axis, and per-tenant accounting
+    /// (latency histograms, bandwidth shares, throttle/reclaim counters,
+    /// epoch columns). `None` (the default) keeps runs bit-identical to a
+    /// build without the subsystem — the same Option pattern as `faults`.
+    pub qos: Option<QosConfig>,
     /// Worker threads for channel-sharded execution (see [`crate::shard`]).
     /// `None` defers to the `MICROBANK_THREADS` environment variable, then
     /// to 1. Any value ≤ 1 runs the classic single-threaded loop. Results
@@ -106,6 +114,7 @@ impl SimConfig {
             ctrl_stride: 2,
             telemetry: None,
             faults: None,
+            qos: None,
             threads: None,
             watchdog_timeout_ms: 60_000,
             spans: false,
@@ -140,6 +149,26 @@ impl SimConfig {
     pub fn with_faults(mut self, fc: FaultConfig) -> Self {
         self.faults = Some(fc);
         self
+    }
+
+    /// Arm the multi-tenant QoS subsystem with the given configuration.
+    pub fn with_qos(mut self, qc: QosConfig) -> Self {
+        self.qos = Some(qc);
+        self
+    }
+
+    /// Number of tenant rows/columns a QoS-armed run reports: the larger
+    /// of the workload's tenant count and the configured policy table,
+    /// clamped to [`MAX_TENANTS`]; 0 when QoS is off.
+    pub fn qos_tenants(&self) -> usize {
+        match &self.qos {
+            None => 0,
+            Some(qc) => qc
+                .tenants
+                .len()
+                .max(self.workload.num_tenants())
+                .clamp(1, MAX_TENANTS),
+        }
     }
 
     /// Pin the worker-thread count for this run (overrides the
@@ -243,6 +272,11 @@ impl SimConfig {
         if let Err(e) = c.finish("SimConfig") {
             errors.push(e);
         }
+        if let Some(qc) = &self.qos {
+            if let Err(e) = qc.validate() {
+                errors.push(e);
+            }
+        }
         if errors.is_empty() {
             Ok(())
         } else {
@@ -332,6 +366,39 @@ pub enum DriveMode {
     Sharded { workers: usize },
 }
 
+/// Per-tenant outcome of a QoS-armed run (measurement window unless noted).
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantMetrics {
+    /// Tenant slot (0 = latency-critical by `TenantMix` convention).
+    pub tenant: u8,
+    /// Read completions attributed to this tenant over the window.
+    pub reads: u64,
+    /// Column (data-burst) commands served for this tenant over the window.
+    pub cols: u64,
+    /// This tenant's fraction of all column commands in the window — its
+    /// realized bandwidth share.
+    pub share: f64,
+    pub mean_lat: f64,
+    pub p50_lat: f64,
+    pub p95_lat: f64,
+    pub p99_lat: f64,
+    /// Scheduling slots denied by an empty token bucket (whole run).
+    pub throttled: u64,
+    /// Over-budget issues admitted by work-conserving reclaim (whole run).
+    pub reclaimed: u64,
+}
+
+/// The QoS subsystem's run report: one row per tenant plus regulator
+/// totals. Present on [`SimResult::qos`] iff the run was QoS-armed.
+#[derive(Debug, Clone, Serialize)]
+pub struct QosReport {
+    pub tenants: Vec<TenantMetrics>,
+    /// Total throttle events across tenants and channels (whole run).
+    pub throttled: u64,
+    /// Total work-conserving reclaims across tenants and channels.
+    pub reclaimed: u64,
+}
+
 /// Measured outcome of one run (all values over the measurement window).
 #[derive(Debug, Clone, Serialize)]
 pub struct SimResult {
@@ -363,6 +430,9 @@ pub struct SimResult {
     /// reset at the warmup boundary — retirement state is cumulative).
     /// `None` when the reliability subsystem is disabled.
     pub reliability: Option<FaultSummary>,
+    /// Per-tenant QoS accounting; `None` when the QoS subsystem is
+    /// disabled.
+    pub qos: Option<QosReport>,
     /// Which drive loop executed this run, and — when sequential — why.
     pub drive: DriveMode,
 }
@@ -525,6 +595,51 @@ impl SimResult {
                 let mut l = labels.clone();
                 l.push(("kind", kind));
                 reg.counter_add("microbank_reliability_events_total", &l, n);
+            }
+        }
+        if let Some(q) = &self.qos {
+            reg.register(
+                "microbank_qos_tenant_columns_total",
+                MetricKind::Counter,
+                "Column commands served per tenant over the measured window",
+            );
+            reg.register(
+                "microbank_qos_tenant_reads_total",
+                MetricKind::Counter,
+                "Read completions per tenant over the measured window",
+            );
+            reg.register(
+                "microbank_qos_events_total",
+                MetricKind::Counter,
+                "QoS regulator events (throttle / reclaim), by tenant",
+            );
+            reg.register(
+                "microbank_qos_tenant_read_latency_p99_cycles",
+                MetricKind::Gauge,
+                "Per-tenant p99 main-memory read latency of the latest run",
+            );
+            reg.register(
+                "microbank_qos_tenant_bandwidth_share",
+                MetricKind::Gauge,
+                "Per-tenant realized bandwidth share of the latest run",
+            );
+            for t in &q.tenants {
+                let tn = t.tenant.to_string();
+                let mut l = labels.clone();
+                l.push(("tenant", &tn));
+                reg.counter_add("microbank_qos_tenant_columns_total", &l, t.cols);
+                reg.counter_add("microbank_qos_tenant_reads_total", &l, t.reads);
+                reg.gauge_set(
+                    "microbank_qos_tenant_read_latency_p99_cycles",
+                    &l,
+                    t.p99_lat,
+                );
+                reg.gauge_set("microbank_qos_tenant_bandwidth_share", &l, t.share);
+                for (kind, n) in [("throttled", t.throttled), ("reclaimed", t.reclaimed)] {
+                    let mut le = l.clone();
+                    le.push(("kind", kind));
+                    reg.counter_add("microbank_qos_events_total", &le, n);
+                }
             }
         }
     }
@@ -702,6 +817,18 @@ pub(crate) fn merged_stats(ctrls: &[MemoryController]) -> DramStats {
     d
 }
 
+/// Per-tenant served-column totals summed over controllers (all-zero when
+/// QoS is not armed).
+pub(crate) fn merged_tenant_cols(ctrls: &[MemoryController]) -> [u64; MAX_TENANTS] {
+    let mut acc = [0u64; MAX_TENANTS];
+    for c in ctrls {
+        for (a, v) in acc.iter_mut().zip(c.tenant_cols()) {
+            *a += v;
+        }
+    }
+    acc
+}
+
 /// One full simulation attempt. `force_sequential` pins the drive to the
 /// sequential loop with the given reason (used for the watchdog rescue
 /// retry); otherwise the dispatcher picks per the config. `Err` carries
@@ -727,6 +854,11 @@ fn run_attempt(
     if let Some(fc) = &cfg.faults {
         for (i, c) in ctrls.iter_mut().enumerate() {
             c.enable_faults(fc, i);
+        }
+    }
+    if let Some(qc) = &cfg.qos {
+        for c in ctrls.iter_mut() {
+            c.enable_qos(qc);
         }
     }
 
@@ -762,6 +894,11 @@ fn run_attempt(
             for i in 0..cfg.mem.channels {
                 names.push(format!("ch{i}.queue_len"));
             }
+        }
+        // Per-tenant served-column columns, only when QoS is armed — a
+        // QoS-off timeline stays byte-identical to the pre-QoS format.
+        for t in 0..cfg.qos_tenants() {
+            names.push(format!("tenant{t}.cols"));
         }
         let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
         Timeline::new(tc.epoch_cycles, &refs)
@@ -820,6 +957,8 @@ fn run_attempt(
         read_latency_acc,
         read_latency_hist,
         read_lat_samples,
+        tenant_hists,
+        tenant_cols_at_warmup,
     } = out;
 
     // Gather measurement-window deltas.
@@ -851,6 +990,52 @@ fn run_attempt(
             }
         }
         s
+    });
+
+    let qos_report = cfg.qos.as_ref().map(|_| {
+        let mut stats = QosStats::default();
+        for c in &ctrls {
+            if let Some(q) = &c.qos {
+                stats.merge(&q.stats);
+            }
+        }
+        let cols_now = merged_tenant_cols(&ctrls);
+        let nt = cfg.qos_tenants();
+        let window_cols: Vec<u64> = (0..nt)
+            .map(|t| cols_now[t] - tenant_cols_at_warmup[t])
+            .collect();
+        let total_cols: u64 = window_cols.iter().sum();
+        let tenants = (0..nt)
+            .map(|t| {
+                let hist = &tenant_hists[t];
+                let reads = hist.count();
+                TenantMetrics {
+                    tenant: t as u8,
+                    reads,
+                    cols: window_cols[t],
+                    share: if total_cols == 0 {
+                        0.0
+                    } else {
+                        window_cols[t] as f64 / total_cols as f64
+                    },
+                    mean_lat: if reads == 0 {
+                        0.0
+                    } else {
+                        hist.sum() as f64 / reads as f64
+                    },
+                    p50_lat: hist.percentile(0.50) as f64,
+                    p95_lat: hist.percentile(0.95) as f64,
+                    p99_lat: hist.percentile(0.99) as f64,
+                    throttled: stats.throttled[t],
+                    reclaimed: stats.reclaimed[t],
+                }
+            })
+            .collect();
+        QosReport {
+            tenants,
+            throttled: stats.total_throttled(),
+            reclaimed: stats.total_reclaimed(),
+        }
     });
 
     let report = cfg.telemetry.map(|_| {
@@ -931,6 +1116,7 @@ fn run_attempt(
             .collect(),
         profile,
         reliability,
+        qos: qos_report,
         drive,
     };
     Ok((result, report))
@@ -948,6 +1134,11 @@ pub(crate) struct DriveOutput {
     pub(crate) read_latency_acc: u64,
     pub(crate) read_latency_hist: microbank_core::hist::Histogram,
     pub(crate) read_lat_samples: u64,
+    /// Per-tenant read-latency histograms (one per tenant slot the run
+    /// reports; empty when QoS is off — the hook stays a single branch).
+    pub(crate) tenant_hists: Vec<microbank_core::hist::Histogram>,
+    /// Per-tenant served-column totals at the warmup boundary.
+    pub(crate) tenant_cols_at_warmup: [u64; MAX_TENANTS],
 }
 
 /// The classic single-threaded cycle loop. The sharded drive
@@ -978,6 +1169,12 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
     let mut completions: Vec<Completion> = Vec::new();
     let mut read_latency_acc: u64 = 0;
     let mut read_latency_hist = microbank_core::hist::Histogram::new();
+
+    // Per-tenant accounting, armed only with QoS (0 tenants otherwise).
+    let qos_nt = cfg.qos_tenants();
+    let mut tenant_hists = vec![microbank_core::hist::Histogram::new(); qos_nt];
+    let mut tenant_cols_at_warmup = [0u64; MAX_TENANTS];
+    let mut epoch_tenant_cols = [0u64; MAX_TENANTS];
 
     // Warmup boundary snapshots.
     let mut committed_at_warmup = 0u64;
@@ -1028,6 +1225,7 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
                 }
             }
             dram_at_warmup = d;
+            tenant_cols_at_warmup = merged_tenant_cols(&ctrls);
         }
         // Controllers issue commands on their slot cadence. A controller
         // that proved itself idle sleeps until its wake cycle (or until an
@@ -1070,6 +1268,10 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
                             read_latency_acc += lat;
                             read_latency_hist.record(lat);
                             read_lat_samples += 1;
+                            if qos_nt > 0 {
+                                let t = tenant_slot(comp.tenant).min(qos_nt - 1);
+                                tenant_hists[t].record(lat);
+                            }
                         }
                     }
                     deliveries.push(Delivery {
@@ -1134,6 +1336,13 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
             ];
             if ctrls.len() > 1 {
                 row.extend(qlens.iter().map(|&q| q as f64));
+            }
+            if qos_nt > 0 {
+                let cols = merged_tenant_cols(&ctrls);
+                for t in 0..qos_nt {
+                    row.push((cols[t] - epoch_tenant_cols[t]) as f64);
+                }
+                epoch_tenant_cols = cols;
             }
             timeline
                 .as_mut()
@@ -1232,6 +1441,8 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
         read_latency_acc,
         read_latency_hist,
         read_lat_samples,
+        tenant_hists,
+        tenant_cols_at_warmup,
     }
 }
 
@@ -1294,6 +1505,7 @@ impl MemPort for TrackingRouter<'_> {
         };
         let mut r = MemRequest::new(req.id, req.addr, kind, req.thread, now);
         r.loc = loc;
+        r.tenant = req.tenant;
         let ok = ctrl.enqueue(r, now);
         if ok {
             // Writes are tracked too (and consumed at completion) so the

@@ -592,6 +592,25 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_distinguishes_qos_configurations() {
+        // QoS changes simulated behavior, so it must invalidate manifest
+        // hits: arming it, and every knob inside it, alters the print.
+        let base = SimConfig::paper_default(microbank_workloads::suite::Workload::MixHigh);
+        let fp0 = SweepRunner::config_fingerprint(&base);
+        let tracking = base
+            .clone()
+            .with_qos(microbank_ctrl::qos::QosConfig::tracking());
+        let fp1 = SweepRunner::config_fingerprint(&tracking);
+        assert_ne!(fp0, fp1, "arming QoS must change the fingerprint");
+        let regulated = base
+            .clone()
+            .with_qos(microbank_ctrl::qos::QosConfig::tracking().with_tenant(Some(64), 1));
+        let fp2 = SweepRunner::config_fingerprint(&regulated);
+        assert_ne!(fp1, fp2, "tenant policies must change the fingerprint");
+        assert_eq!(fp1, SweepRunner::config_fingerprint(&tracking.clone()));
+    }
+
+    #[test]
     fn values_roundtrip_exactly_through_the_manifest() {
         let dir = std::env::temp_dir().join(format!("microbank_sweep_unit_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);

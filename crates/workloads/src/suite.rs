@@ -8,6 +8,7 @@ use crate::mix::{mix_blend, mix_high};
 use crate::profile::AppProfile;
 use crate::spec::{self, SpecGroup};
 use crate::synth::SynthSource;
+use microbank_core::request::TenantId;
 use serde::{Deserialize, Serialize};
 
 /// TPC-H: decision-support scans — long sequential runs, many concurrent
@@ -124,6 +125,15 @@ pub enum Workload {
     Radix,
     Fft,
     Canneal,
+    /// Multi-tenant colocation: the first `lc_cores` cores run a
+    /// latency-critical OLTP service (TPC-C, tenant 0) and the rest run a
+    /// throughput batch job (RADIX, tenant 1) on the same channels. The
+    /// tenants are separate processes — no shared region — so all
+    /// interference is in the memory system, which is exactly what the QoS
+    /// regulators arbitrate.
+    TenantMix {
+        lc_cores: u16,
+    },
 }
 
 impl Workload {
@@ -139,6 +149,7 @@ impl Workload {
             Workload::Radix => "RADIX".to_string(),
             Workload::Fft => "FFT".to_string(),
             Workload::Canneal => "canneal".to_string(),
+            Workload::TenantMix { lc_cores } => format!("tenant-mix-lc{lc_cores}"),
         }
     }
 
@@ -164,15 +175,48 @@ impl Workload {
             Workload::Radix => vec![radix(); cores],
             Workload::Fft => vec![fft(); cores],
             Workload::Canneal => vec![canneal(); cores],
+            Workload::TenantMix { lc_cores } => (0..cores)
+                .map(|i| {
+                    if (i as u16) < *lc_cores {
+                        tpc_c()
+                    } else {
+                        radix()
+                    }
+                })
+                .collect(),
         }
     }
 
     /// Is this a multithreaded (shared-address-space) workload?
+    /// `TenantMix` is deliberately not: its tenants are separate processes,
+    /// so they contend only in the memory system.
     pub fn is_multithreaded(&self) -> bool {
         matches!(
             self,
             Workload::TpcC | Workload::TpcH | Workload::Radix | Workload::Fft | Workload::Canneal
         )
+    }
+
+    /// Tenant owning hardware thread `core` under this workload.
+    pub fn tenant_of(&self, core: usize) -> TenantId {
+        match self {
+            Workload::TenantMix { lc_cores } => {
+                if (core as u16) < *lc_cores {
+                    TenantId(0)
+                } else {
+                    TenantId(1)
+                }
+            }
+            _ => TenantId::default(),
+        }
+    }
+
+    /// Number of distinct tenants this workload colocates.
+    pub fn num_tenants(&self) -> usize {
+        match self {
+            Workload::TenantMix { .. } => 2,
+            _ => 1,
+        }
     }
 }
 
@@ -206,6 +250,7 @@ pub fn build_sources(
                 shared_base,
                 shared,
             )
+            .with_tenant(workload.tenant_of(i))
         })
         .collect()
 }
@@ -285,6 +330,28 @@ mod tests {
             }
         }
         assert!(shared_hits > 0, "no shared-region traffic");
+    }
+
+    #[test]
+    fn tenant_mix_tags_cores_by_tenant() {
+        let w = Workload::TenantMix { lc_cores: 2 };
+        assert_eq!(w.num_tenants(), 2);
+        assert_eq!(w.label(), "tenant-mix-lc2");
+        assert!(!w.is_multithreaded(), "tenants are separate processes");
+        assert_eq!(w.tenant_of(1), TenantId(0));
+        assert_eq!(w.tenant_of(2), TenantId(1));
+        let profiles = w.assign(4);
+        assert_eq!(profiles[0].name, "TPC-C");
+        assert_eq!(profiles[3].name, "RADIX");
+        let srcs = build_sources(w, 4, 1 << 28, 3);
+        let tenants: Vec<TenantId> = srcs.iter().map(|s| s.tenant()).collect();
+        assert_eq!(
+            tenants,
+            vec![TenantId(0), TenantId(0), TenantId(1), TenantId(1)]
+        );
+        // Single-tenant workloads keep everything on tenant 0.
+        assert_eq!(Workload::MixHigh.num_tenants(), 1);
+        assert_eq!(Workload::MixHigh.tenant_of(63), TenantId(0));
     }
 
     #[test]

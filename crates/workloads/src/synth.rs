@@ -10,6 +10,7 @@
 //! All randomness is a seeded `StdRng`, so runs are fully deterministic.
 
 use crate::profile::AppProfile;
+use microbank_core::request::TenantId;
 use microbank_cpu::instr::{Instr, InstrSource};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -53,6 +54,8 @@ pub struct SynthSource {
     acc: f64,
     /// Instructions generated (diagnostics).
     pub generated: u64,
+    /// Tenant this stream belongs to (multi-tenant mixes only; 0 default).
+    tenant: TenantId,
 }
 
 impl SynthSource {
@@ -90,7 +93,14 @@ impl SynthSource {
             hot_addrs,
             acc: 0.0,
             generated: 0,
+            tenant: TenantId::default(),
         }
+    }
+
+    /// Tag this stream (and thus every request its core emits) as `tenant`.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
     }
 
     /// Sample a geometric run length with mean `stream_run`.
@@ -149,6 +159,10 @@ fn aligned(rng: &mut StdRng, span: u64) -> u64 {
 }
 
 impl InstrSource for SynthSource {
+    fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
     fn next_instr(&mut self) -> Instr {
         self.generated += 1;
         self.acc += self.profile.mem_fraction;
