@@ -12,9 +12,13 @@ use crate::bank::MicrobankState;
 use crate::config::MemConfig;
 use crate::stats::DramStats;
 use crate::timing::Timings;
+use crate::variant::VariantRules;
 use crate::Cycle;
 use microbank_telemetry::ChannelTelemetry;
 use std::collections::VecDeque;
+
+/// Sentinel for "no μbank owns the shared global bitlines".
+const NO_GBL_OWNER: u32 = u32::MAX;
 
 /// Row-buffer outcome of a request arriving for a μbank, as seen at
 /// enqueue time (the standard open-page accounting the energy model and
@@ -90,6 +94,21 @@ pub struct Channel {
     refresh_enabled: bool,
     /// Power-down idle threshold (None = disabled).
     powerdown_idle: Option<Cycle>,
+    /// Structural issue rules of the configured device variant (DESIGN
+    /// §5h). `VariantRules::NONE` for Conventional/Microbank, so the hot
+    /// paths below pay one branch and no per-bank scans.
+    rules: VariantRules,
+    /// μbanks per physical bank (`nW × nB`), for sibling scans.
+    ubanks_per_bank: usize,
+    /// Per physical bank: flat index of the μbank whose column burst last
+    /// drove the shared global bitlines ([`NO_GBL_OWNER`] = none yet).
+    /// Only mutated when `rules.shared_global_bitlines`.
+    gbl_owner: Vec<u32>,
+    /// Per physical bank: cycle the in-flight burst releases the shared
+    /// global bitlines. A *different* subarray's column command must wait
+    /// for this; the owner may keep streaming (its row buffer is already
+    /// connected).
+    gbl_busy_until: Vec<Cycle>,
     pub stats: DramStats,
     /// Per-μbank heat counters; `None` (the default) costs one branch per
     /// hook site.
@@ -99,8 +118,10 @@ pub struct Channel {
 impl Channel {
     pub fn new(cfg: &MemConfig) -> Self {
         let t = cfg.timings();
-        let ubanks_per_rank = cfg.banks_per_rank * cfg.ubank.ubanks_per_bank();
+        let ubanks_per_bank = cfg.ubank.ubanks_per_bank();
+        let ubanks_per_rank = cfg.banks_per_rank * ubanks_per_bank;
         let total = ubanks_per_rank * cfg.ranks_per_channel;
+        let physical_banks = cfg.banks_per_rank * cfg.ranks_per_channel;
         Channel {
             t,
             ubanks_per_rank,
@@ -115,6 +136,10 @@ impl Channel {
             next_col_cmd: 0,
             refresh_enabled: cfg.refresh_enabled,
             powerdown_idle: cfg.powerdown_idle,
+            rules: cfg.variant.rules(),
+            ubanks_per_bank,
+            gbl_owner: vec![NO_GBL_OWNER; physical_banks],
+            gbl_busy_until: vec![0; physical_banks],
             stats: DramStats::default(),
             telemetry: None,
         }
@@ -150,6 +175,58 @@ impl Channel {
 
     fn rank_of(&self, flat: usize) -> usize {
         flat / self.ubanks_per_rank
+    }
+
+    /// Global physical-bank index of a μbank. μbanks of one physical bank
+    /// are contiguous in `banks` (`flat = (rank·banksPerRank + bank)·
+    /// ubanksPerBank + within`), so this is a single divide.
+    fn bank_of(&self, flat: usize) -> usize {
+        flat / self.ubanks_per_bank
+    }
+
+    /// The variant's structural issue rules (as stored at construction).
+    pub fn variant_rules(&self) -> VariantRules {
+        self.rules
+    }
+
+    /// Would the device variant's *structural* rules block an ACT opening
+    /// `row` in μbank `flat` right now? Returns the flat index of the
+    /// first (lowest-index) sibling μbank whose open row is in the way —
+    /// the deterministic victim the controller must precharge first — or
+    /// `None` when the ACT is structurally admissible (timing constraints
+    /// are checked separately by [`Channel::can_activate_flat`]).
+    ///
+    /// Two rules exist (DESIGN §5h):
+    /// * `single_row_decoder` (Sectored): sibling μbanks share one row
+    ///   decoder, so a sibling holding a *different* row blocks; a sibling
+    ///   holding the *same* row is the sector-append case and does not.
+    /// * `max_open_per_bank` (SALP-1/SALP-2): at the open-row limit, the
+    ///   first open sibling blocks until it is precharged.
+    pub fn act_blocker(&self, flat: usize, row: u32) -> Option<usize> {
+        if !self.rules.any() {
+            return None;
+        }
+        let lo = self.bank_of(flat) * self.ubanks_per_bank;
+        let mut open = 0usize;
+        let mut first_open = None;
+        for f in lo..lo + self.ubanks_per_bank {
+            if f == flat {
+                continue;
+            }
+            if let Some(r) = self.banks[f].open_row {
+                if self.rules.single_row_decoder && r != row {
+                    return Some(f);
+                }
+                open += 1;
+                if first_open.is_none() {
+                    first_open = Some(f);
+                }
+            }
+        }
+        if open >= self.rules.max_open_per_bank {
+            return first_open;
+        }
+        None
     }
 
     fn in_refresh(&self, rank: usize, now: Cycle) -> bool {
@@ -219,9 +296,17 @@ impl Channel {
             && self.banks[flat].can_activate(now)
     }
 
+    /// Can an ACT opening `row` in `flat` issue at `now`, including the
+    /// device variant's structural rules? This is the predicate the
+    /// controller uses; [`Channel::can_activate_flat`] alone is exact only
+    /// for variants without structural rules (Conventional/Microbank).
+    pub fn can_activate_row_flat(&self, flat: usize, row: u32, now: Cycle) -> bool {
+        self.act_blocker(flat, row).is_none() && self.can_activate_flat(flat, now)
+    }
+
     /// Issue an ACT opening `row`.
     pub fn activate_flat(&mut self, flat: usize, row: u32, now: Cycle) {
-        debug_assert!(self.can_activate_flat(flat, now));
+        debug_assert!(self.can_activate_row_flat(flat, row, now));
         let rank = self.rank_of(flat);
         self.banks[flat].activate(row, now, &self.t);
         let rs = &mut self.ranks[rank];
@@ -282,7 +367,26 @@ impl Channel {
         if !is_write && now < self.ranks[rank].last_wr_data_end + self.t.t_wtr {
             return false;
         }
+        // SALP: subarrays of a bank share the global bitlines; a column
+        // command from a *different* subarray waits for the in-flight
+        // burst to release them (the owner may keep streaming).
+        if self.rules.shared_global_bitlines {
+            let bank = self.bank_of(flat);
+            if self.gbl_owner[bank] != flat as u32 && now < self.gbl_busy_until[bank] {
+                return false;
+            }
+        }
         true
+    }
+
+    /// Record that `flat`'s column burst occupies its bank's shared global
+    /// bitlines until `data_end`. No-op unless the variant shares them.
+    fn take_gbl(&mut self, flat: usize, data_end: Cycle) {
+        if self.rules.shared_global_bitlines {
+            let bank = self.bank_of(flat);
+            self.gbl_owner[bank] = flat as u32;
+            self.gbl_busy_until[bank] = data_end;
+        }
     }
 
     /// Issue a RD; returns the cycle the full 64 B line has transferred.
@@ -291,6 +395,7 @@ impl Channel {
         self.ranks[rank].last_activity = now;
         let done = self.banks[flat].read(now, &self.t);
         self.data_free = now + self.t.t_aa + self.t.t_burst;
+        self.take_gbl(flat, self.data_free);
         self.next_col_cmd = now + self.t.t_ccd;
         self.next_cmd = now + self.t.t_cmd;
         self.stats.reads += 1;
@@ -305,6 +410,7 @@ impl Channel {
         let done = self.banks[flat].write(now, &self.t);
         self.ranks[rank].last_wr_data_end = done;
         self.data_free = now + self.t.t_cwl + self.t.t_burst;
+        self.take_gbl(flat, self.data_free);
         self.next_col_cmd = now + self.t.t_ccd;
         self.next_cmd = now + self.t.t_cmd;
         self.stats.writes += 1;
@@ -559,7 +665,29 @@ impl Channel {
         if !is_write {
             t = t.max(self.ranks[rank].last_wr_data_end + self.t.t_wtr);
         }
+        // Shared-global-bitline release is a frozen timer, so the dual
+        // stays exact: a non-owner subarray's first legal cycle includes
+        // the in-flight burst's end.
+        if self.rules.shared_global_bitlines {
+            let bank = self.bank_of(flat);
+            if self.gbl_owner[bank] != flat as u32 {
+                t = t.max(self.gbl_busy_until[bank]);
+            }
+        }
         t
+    }
+
+    /// Earliest cycle [`Channel::can_activate_row_flat`] becomes true with
+    /// the channel state frozen ([`Channel::earliest_activate_flat`] plus
+    /// the variant's structural rules). A structural blocker is pure bank
+    /// *state* — it only clears when some PRE lands, itself a folded
+    /// event — so a blocked ACT reports `Cycle::MAX`, exactly like an ACT
+    /// into a μbank that still holds an open row.
+    pub fn earliest_activate_row_flat(&self, flat: usize, row: u32) -> Cycle {
+        if self.act_blocker(flat, row).is_some() {
+            return Cycle::MAX;
+        }
+        self.earliest_activate_flat(flat)
     }
 
     /// Earliest cycle [`Channel::can_precharge_flat`] becomes true;
@@ -960,6 +1088,138 @@ mod tests {
             horizon,
             |c| ch.can_activate_flat(f5, c),
         );
+    }
+
+    fn setup_variant(v: crate::variant::DeviceVariant) -> (MemConfig, Channel) {
+        let cfg = MemConfig::lpddr_tsi().with_variant(v).with_refresh(false);
+        cfg.validate().expect("variant config valid");
+        (cfg.clone(), Channel::new(&cfg))
+    }
+
+    #[test]
+    fn default_variants_have_no_structural_blockers() {
+        let (cfg, mut ch) = setup(4, 4);
+        assert!(!ch.variant_rules().any());
+        let mut now = 0;
+        for b in 0..4u8 {
+            let l = loc(0, 0, b, b as u32);
+            let f = l.ubank_flat(&cfg);
+            now = ch.earliest_activate_flat(f).max(now);
+            ch.activate_flat(f, l.row, now);
+        }
+        // Plenty of open siblings, arbitrary rows: never a blocker, and
+        // the row-aware predicate degenerates to the row-agnostic one.
+        let l = loc(0, 1, 0, 99);
+        let f = l.ubank_flat(&cfg);
+        assert_eq!(ch.act_blocker(f, 99), None);
+        assert_eq!(
+            ch.earliest_activate_row_flat(f, 99),
+            ch.earliest_activate_flat(f)
+        );
+    }
+
+    #[test]
+    fn salp_shared_bitlines_delay_sibling_columns() {
+        use crate::variant::{DeviceVariant, SalpMode};
+        let (cfg, mut ch) = setup_variant(DeviceVariant::Salp {
+            subarrays: 2,
+            mode: SalpMode::Masa,
+        });
+        let t = *ch.timings();
+        let l0 = loc(0, 0, 0, 7);
+        let l1 = loc(0, 0, 1, 3);
+        let (f0, f1) = (l0.ubank_flat(&cfg), l1.ubank_flat(&cfg));
+        // MASA: both subarrays of bank 0 may hold open rows.
+        let mut now = 0;
+        ch.activate_flat(f0, l0.row, now);
+        now = ch.earliest_activate_row_flat(f1, l1.row);
+        assert_ne!(now, Cycle::MAX, "MASA allows a second open subarray");
+        ch.activate_flat(f1, l1.row, now);
+        // Subarray 0 streams a read; its burst owns the global bitlines.
+        let r0 = ch.earliest_column_flat(f0, false);
+        let d0 = ch.read_flat(f0, r0);
+        assert_eq!(d0, r0 + t.t_aa + t.t_burst);
+        // The owner's next column sees only tCCD/data-bus limits; the
+        // sibling subarray additionally waits for the burst to release
+        // the shared bitlines (strictly later).
+        let own_next = ch.earliest_column_flat(f0, false);
+        let sib_next = ch.earliest_column_flat(f1, false);
+        assert!(sib_next >= d0, "sibling column before bitline release");
+        assert!(own_next < sib_next, "owner should stream back-to-back");
+        let horizon = d0 + 4 * t.t_rc();
+        assert_dual_exact("salp sibling col", sib_next, horizon, |c| {
+            ch.can_column_flat(f1, l1.row, false, c)
+        });
+    }
+
+    #[test]
+    fn salp1_open_row_limit_names_a_victim() {
+        use crate::variant::{DeviceVariant, SalpMode};
+        let (cfg, mut ch) = setup_variant(DeviceVariant::Salp {
+            subarrays: 2,
+            mode: SalpMode::Salp1,
+        });
+        let t = *ch.timings();
+        let l0 = loc(0, 0, 0, 7);
+        let l1 = loc(0, 0, 1, 3);
+        let (f0, f1) = (l0.ubank_flat(&cfg), l1.ubank_flat(&cfg));
+        ch.activate_flat(f0, l0.row, 0);
+        // One row open: the sibling subarray is structurally blocked, and
+        // the blocker names the open μbank as the victim to precharge.
+        assert_eq!(ch.act_blocker(f1, l1.row), Some(f0));
+        assert!(!ch.can_activate_row_flat(f1, l1.row, 10 * t.t_rc()));
+        assert_eq!(ch.earliest_activate_row_flat(f1, l1.row), Cycle::MAX);
+        // A different bank is unaffected (per-bank rule).
+        let lb = loc(1, 0, 0, 5);
+        let fb = lb.ubank_flat(&cfg);
+        assert_eq!(ch.act_blocker(fb, lb.row), None);
+        // Precharge the victim: the block clears and the dual is exact.
+        let pre = ch.earliest_precharge_flat(f0);
+        ch.precharge_flat(f0, pre);
+        assert_eq!(ch.act_blocker(f1, l1.row), None);
+        let horizon = pre + 4 * t.t_rc();
+        assert_dual_exact(
+            "salp1 act after victim pre",
+            ch.earliest_activate_row_flat(f1, l1.row),
+            horizon,
+            |c| ch.can_activate_row_flat(f1, l1.row, c),
+        );
+    }
+
+    #[test]
+    fn sectored_decoder_blocks_other_rows_but_appends_same_row() {
+        use crate::variant::DeviceVariant;
+        let (cfg, mut ch) = setup_variant(DeviceVariant::Sectored {
+            sectors: 16,
+            sectors_per_act: 8,
+        });
+        let t = *ch.timings();
+        // (nW, nB) = (2, 1): two wordline-group μbanks per bank.
+        let l0 = loc(0, 0, 0, 5);
+        let (f0, f1) = (l0.ubank_flat(&cfg), loc(0, 1, 0, 5).ubank_flat(&cfg));
+        ch.activate_flat(f0, 5, 0);
+        // Different row: the single row decoder is held at row 5.
+        assert_eq!(ch.act_blocker(f1, 6), Some(f0));
+        assert_eq!(ch.earliest_activate_row_flat(f1, 6), Cycle::MAX);
+        // Same row: sector-append ACT, no PRE required.
+        assert_eq!(ch.act_blocker(f1, 5), None);
+        let horizon = 4 * (t.t_rc() + t.t_faw);
+        assert_dual_exact(
+            "sector append act",
+            ch.earliest_activate_row_flat(f1, 5),
+            horizon,
+            |c| ch.can_activate_row_flat(f1, 5, c),
+        );
+        let at = ch.earliest_activate_row_flat(f1, 5);
+        ch.activate_flat(f1, 5, at);
+        // Both sectors now serve row 5 independently (no shared-bitline
+        // rule for Sectored — each group has its own sense amps).
+        assert_eq!(ch.open_row_flat(f0), Some(5));
+        assert_eq!(ch.open_row_flat(f1), Some(5));
+        let c1 = ch.earliest_column_flat(f1, false);
+        ch.read_flat(f1, c1);
+        let c0 = ch.earliest_column_flat(f0, false);
+        assert_ne!(c0, Cycle::MAX);
     }
 
     #[test]

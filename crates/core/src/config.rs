@@ -5,6 +5,7 @@
 use crate::geometry::{DeviceGeometry, UbankConfig};
 use crate::timing::{TimingParams, Timings};
 use crate::validate::{Checker, ConfigError};
+use crate::variant::DeviceVariant;
 use crate::CACHE_LINE_BITS;
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +71,14 @@ pub struct MemConfig {
     /// Banks per rank visible to one channel (8: half of a 16-bank die).
     pub banks_per_rank: usize,
     pub ubank: UbankConfig,
+    /// Device-variant seam (DESIGN §5h): which fine-grained-DRAM design
+    /// the channel models. `Microbank` (the default) is the repo's native
+    /// model and imposes no structural rules beyond the μbank FSMs, so
+    /// every pre-seam configuration behaves bit-identically. Set via
+    /// [`MemConfig::with_variant`], which also derives the consistent
+    /// `ubank` geometry.
+    #[serde(default)]
+    pub variant: DeviceVariant,
     pub geometry: DeviceGeometry,
     pub timing: TimingParams,
     /// Interleaving base bit `iB` (paper Fig. 11). Bit 6 interleaves at
@@ -104,6 +113,7 @@ impl MemConfig {
             ranks_per_channel: interface.default_ranks(),
             banks_per_rank: geometry.banks_per_die / geometry.channels_per_die,
             ubank: UbankConfig::BASELINE,
+            variant: DeviceVariant::Microbank,
             geometry,
             timing: interface.timing_params(),
             interleave_base: 0, // patched below to the row-granularity max
@@ -146,8 +156,22 @@ impl MemConfig {
 
     /// Builder: adopt a named bank organization from the literature
     /// (SALP, Half-DRAM, …) — see [`crate::organization::Organization`].
+    /// This legacy axis expresses designs as μbank *geometry* only (the
+    /// variant stays `Microbank`); use [`MemConfig::with_variant`] for the
+    /// timing-faithful issue rules.
     pub fn with_organization(self, org: crate::organization::Organization) -> Self {
         let u = org.ubank_config();
+        self.with_ubanks(u.n_w, u.n_b)
+    }
+
+    /// Builder: select a device variant and derive the μbank geometry it
+    /// imposes ([`DeviceVariant::effective_ubank`]), keeping row-granular
+    /// interleaving consistent with the new row size. For
+    /// `DeviceVariant::Microbank` the configured `(nW, nB)` is kept, so
+    /// `with_variant(Microbank)` after `with_ubanks(..)` is a no-op.
+    pub fn with_variant(mut self, v: DeviceVariant) -> Self {
+        self.variant = v;
+        let u = v.effective_ubank(self.ubank);
         self.with_ubanks(u.n_w, u.n_b)
     }
 
@@ -286,6 +310,9 @@ impl MemConfig {
             });
         }
 
+        if ub_ok {
+            self.variant.validate_into(&mut c, self.ubank);
+        }
         self.timing.validate_into(&mut c);
         c.finish("MemConfig")
     }

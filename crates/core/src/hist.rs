@@ -22,9 +22,12 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// Number of log₂ buckets: one per bit of a `u64` sample.
+    pub const NUM_BUCKETS: usize = 64;
+
     pub fn new() -> Self {
         Histogram {
-            buckets: vec![0; 64],
+            buckets: vec![0; Self::NUM_BUCKETS],
             count: 0,
             sum: 0,
             min: u64::MAX,
@@ -34,6 +37,26 @@ impl Histogram {
 
     fn bucket_of(v: u64) -> usize {
         (64 - v.max(1).leading_zeros() - 1) as usize
+    }
+
+    /// Smallest sample bucket `i` covers: 0 for bucket 0 (which holds both
+    /// 0 and 1), `2^i` otherwise.
+    pub fn bucket_low(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Largest sample bucket `i` covers: `2^(i+1) - 1`, saturating at
+    /// `u64::MAX` for the last bucket (where `2^64` does not fit in u64).
+    pub fn bucket_high(i: usize) -> u64 {
+        if i >= Self::NUM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
     }
 
     pub fn record(&mut self, v: u64) {
@@ -99,7 +122,7 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target.max(1) {
-                return (1u64 << (i + 1)).saturating_sub(1).min(self.max);
+                return Self::bucket_high(i).min(self.max);
             }
         }
         self.max
@@ -124,7 +147,7 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter(|(_, &n)| n > 0)
-            .map(|(i, &n)| (1u64 << i, n))
+            .map(|(i, &n)| (Self::bucket_low(i), n))
             .collect()
     }
 }
@@ -178,6 +201,43 @@ mod tests {
         assert_eq!(h.count(), 4);
         assert_eq!(h.max(), 1024);
         assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn percentile_of_top_bucket_does_not_overflow() {
+        // Regression: a sample in bucket 63 (>= 2^63, e.g. a leaked
+        // sentinel) used to make `percentile` compute `1u64 << 64`, a
+        // shift overflow that panics in debug builds.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.percentile(0.5), u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+        h.record(1u64 << 63);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_u64() {
+        assert_eq!(Histogram::bucket_low(0), 0);
+        assert_eq!(Histogram::bucket_high(0), 1);
+        assert_eq!(Histogram::bucket_low(1), 2);
+        assert_eq!(Histogram::bucket_high(1), 3);
+        assert_eq!(Histogram::bucket_low(63), 1u64 << 63);
+        assert_eq!(Histogram::bucket_high(63), u64::MAX);
+        // Adjacent buckets tile the range with no gaps.
+        for i in 0..Histogram::NUM_BUCKETS - 1 {
+            assert_eq!(Histogram::bucket_high(i) + 1, Histogram::bucket_low(i + 1));
+        }
+    }
+
+    #[test]
+    fn nonzero_buckets_reports_zero_low_for_bucket_zero() {
+        // Regression: bucket 0 covers {0, 1} but used to print low bound 1,
+        // so zero-latency samples showed up as ">= 1" in report dumps.
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(7);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (4, 1)]);
     }
 
     #[test]

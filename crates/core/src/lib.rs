@@ -23,6 +23,8 @@
 //! * [`bank`] — per-μbank timing FSM (ACT/RD/WR/PRE legality and latching).
 //! * [`channel`] — one memory channel: shared buses, ranks, tFAW windows,
 //!   refresh bookkeeping.
+//! * [`variant`] — the device-variant seam: μbank vs conventional vs SALP
+//!   vs Sectored DRAM issue rules, energy granularity, and geometry.
 //! * [`request`] — the memory-request type exchanged between the CPU model,
 //!   the controller, and the device model.
 //! * [`stats`] — event counters used by the energy model.
@@ -61,6 +63,7 @@ pub mod request;
 pub mod stats;
 pub mod timing;
 pub mod validate;
+pub mod variant;
 
 /// One simulated CPU clock tick. The whole simulator runs in a single clock
 /// domain: CPU cycles at 2 GHz (0.5 ns per cycle), per the paper's §VI-A
@@ -92,6 +95,7 @@ pub mod prelude {
     pub use crate::stats::DramStats;
     pub use crate::timing::{TimingParams, Timings};
     pub use crate::validate::ConfigError;
+    pub use crate::variant::{DeviceVariant, SalpMode};
     pub use crate::{Cycle, CACHE_LINE_BITS, CACHE_LINE_BYTES, CYCLES_PER_NS};
 }
 

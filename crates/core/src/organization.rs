@@ -62,6 +62,26 @@ impl Organization {
         self.ubank_config().ubanks_per_bank()
     }
 
+    /// The timing-faithful [`crate::variant::DeviceVariant`] realizing
+    /// this organization. The `Organization` enum predates the variant
+    /// seam and expresses designs as μbank *geometry* only; the variant
+    /// adds each design's structural issue rules (SALP's shared global
+    /// bitlines get the full MASA rule set here — the closest match to
+    /// "independent row buffers per subarray").
+    pub fn device_variant(&self) -> crate::variant::DeviceVariant {
+        use crate::variant::{DeviceVariant, SalpMode};
+        match *self {
+            Organization::Conventional => DeviceVariant::Conventional,
+            Organization::Salp { subarrays } => DeviceVariant::Salp {
+                subarrays,
+                mode: SalpMode::Masa,
+            },
+            // Half-DRAM and μbank both partition along the wordline
+            // direction with independent partitions — the native model.
+            Organization::HalfDram | Organization::Microbank { .. } => DeviceVariant::Microbank,
+        }
+    }
+
     /// The comparison set used by the ablation bench: baseline, SALP-8,
     /// Half-DRAM, and two representative μbank points.
     pub fn comparison_set() -> Vec<Organization> {

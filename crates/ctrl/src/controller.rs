@@ -457,7 +457,24 @@ impl MemoryController {
                     }
                 }
                 None => {
-                    if self.channel.can_activate_flat(flat, now) {
+                    if let Some(victim) = self.channel.act_blocker(flat, r.loc.row) {
+                        // The device variant's structural rules block this
+                        // ACT behind a sibling μbank's open row (DESIGN
+                        // §5h). Close the named victim — unless another
+                        // queued request still hits its row (serve hits
+                        // before closing, as in the conflict arm).
+                        let open = self
+                            .channel
+                            .open_row_flat(victim)
+                            .expect("act_blocker names an open μbank");
+                        if !self.queue.any_hit_for(victim, open)
+                            && self.channel.can_precharge_flat(victim, now)
+                        {
+                            Some(Action::PrechargeVictim(victim as u32))
+                        } else {
+                            None
+                        }
+                    } else if self.channel.can_activate_flat(flat, now) {
                         Some(Action::Activate)
                     } else {
                         None
@@ -544,6 +561,18 @@ impl MemoryController {
                 self.close_deadline[flat] = Cycle::MAX;
                 self.pre_due.remove(&flat);
                 self.trace_cmd(now, CmdKind::Pre, flat, closed);
+            }
+            Action::PrechargeVictim(victim) => {
+                // Structural unblock: close the sibling μbank standing in
+                // the way of this request's ACT. The request's own μbank
+                // stays closed; its Activate becomes schedulable next.
+                let victim = victim as usize;
+                let closed = self.channel.open_row_flat(victim).unwrap_or(0);
+                self.channel.precharge_flat(victim, now);
+                self.auto_pre[victim] = false;
+                self.close_deadline[victim] = Cycle::MAX;
+                self.pre_due.remove(&victim);
+                self.trace_cmd(now, CmdKind::Pre, victim, closed);
             }
             Action::Column => {
                 let done = if r.is_write() {
@@ -890,7 +919,25 @@ impl MemoryController {
                     }
                     self.channel.earliest_precharge_flat(flat)
                 }
-                None => self.channel.earliest_activate_flat(flat),
+                None => {
+                    if let Some(victim) = self.channel.act_blocker(flat, r.loc.row) {
+                        let open = self
+                            .channel
+                            .open_row_flat(victim)
+                            .expect("act_blocker names an open μbank");
+                        if self.queue.any_hit_for(victim, open) {
+                            // The hit holder's own column fold covers the
+                            // victim's next state change.
+                            continue;
+                        }
+                        // Mirror of the scan's PrechargeVictim arm: the
+                        // victim's precharge is the first event that can
+                        // unblock this request's ACT.
+                        self.channel.earliest_precharge_flat(victim)
+                    } else {
+                        self.channel.earliest_activate_flat(flat)
+                    }
+                }
             };
             if at <= now {
                 return None;
@@ -1007,6 +1054,106 @@ mod tests {
             done.len()
         );
         done
+    }
+
+    /// A request with a hand-crafted device coordinate (the address-map
+    /// decode is bypassed so tests can target a specific sibling μbank).
+    fn mkreq_at(id: u64, bank: u8, w: u8, b: u8, row: u32, kind: ReqKind) -> MemRequest {
+        let mut r = MemRequest::new(id, 0, kind, 0, 0);
+        r.loc = microbank_core::address::Location {
+            channel: 0,
+            rank: 0,
+            bank,
+            w,
+            b,
+            row,
+            col: 0,
+        };
+        r
+    }
+
+    #[test]
+    fn salp1_precharges_victim_to_unblock_sibling_subarray() {
+        use microbank_core::variant::{DeviceVariant, SalpMode};
+        let cf = MemConfig::lpddr_tsi()
+            .with_variant(DeviceVariant::Salp {
+                subarrays: 2,
+                mode: SalpMode::Salp1,
+            })
+            .with_channels(1)
+            .with_refresh(false);
+        let mut c = ctrl(&cf, PolicyKind::Open);
+        // Open subarray 0's row, then demand a row in subarray 1 of the
+        // same bank. SALP-1 allows one open row per bank: the controller
+        // must precharge the first subarray (the victim) before the second
+        // can activate.
+        c.enqueue(mkreq_at(1, 0, 0, 0, 7, ReqKind::Read), 0);
+        let _ = run_until(&mut c, 1, 10_000);
+        assert_eq!(c.channel.stats.precharges, 0, "open policy keeps row 7");
+        c.enqueue(mkreq_at(2, 0, 0, 1, 3, ReqKind::Read), 10_000);
+        let mut done = Vec::new();
+        let mut now = 10_000;
+        while done.is_empty() && now < 30_000 {
+            c.tick(now);
+            c.take_completions(&mut done);
+            now += 1;
+        }
+        assert_eq!(done.len(), 1, "blocked request must complete");
+        assert!(
+            c.channel.stats.precharges >= 1,
+            "victim precharge must have been issued"
+        );
+        let f0 = 0usize; // bank 0, subarray 0 is flat 0
+        assert_eq!(c.channel.open_row_flat(f0), None, "victim was closed");
+    }
+
+    #[test]
+    fn sectored_appends_same_row_without_precharge() {
+        use microbank_core::variant::DeviceVariant;
+        let cf = MemConfig::lpddr_tsi()
+            .with_variant(DeviceVariant::Sectored {
+                sectors: 16,
+                sectors_per_act: 8,
+            })
+            .with_channels(1)
+            .with_refresh(false);
+        let mut c = ctrl(&cf, PolicyKind::Open);
+        // Same row, both wordline groups: the second ACT appends sectors
+        // without closing the first (shared decoder already at row 5).
+        c.enqueue(mkreq_at(1, 0, 0, 0, 5, ReqKind::Read), 0);
+        c.enqueue(mkreq_at(2, 0, 1, 0, 5, ReqKind::Read), 0);
+        let _ = run_until(&mut c, 2, 20_000);
+        assert_eq!(c.channel.stats.activates, 2);
+        assert_eq!(c.channel.stats.precharges, 0, "append must not precharge");
+    }
+
+    #[test]
+    fn sectored_closes_decoder_victim_for_a_different_row() {
+        use microbank_core::variant::DeviceVariant;
+        let cf = MemConfig::lpddr_tsi()
+            .with_variant(DeviceVariant::Sectored {
+                sectors: 16,
+                sectors_per_act: 8,
+            })
+            .with_channels(1)
+            .with_refresh(false);
+        let mut c = ctrl(&cf, PolicyKind::Open);
+        c.enqueue(mkreq_at(1, 0, 0, 0, 5, ReqKind::Read), 0);
+        let _ = run_until(&mut c, 1, 10_000);
+        // Different row in the sibling group: the shared row decoder is
+        // held at row 5, so the open sector must be precharged first.
+        c.enqueue(mkreq_at(2, 0, 1, 0, 6, ReqKind::Read), 10_000);
+        let mut done = Vec::new();
+        let mut now = 10_000;
+        while done.is_empty() && now < 30_000 {
+            c.tick(now);
+            c.take_completions(&mut done);
+            now += 1;
+        }
+        assert_eq!(done.len(), 1);
+        assert!(c.channel.stats.precharges >= 1);
+        assert_eq!(c.channel.open_row_flat(0), None, "row-5 sector closed");
+        assert_eq!(c.channel.open_row_flat(1), Some(6));
     }
 
     #[test]

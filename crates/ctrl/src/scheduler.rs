@@ -41,6 +41,11 @@ pub enum Action {
     Activate,
     /// PRE of a conflicting open row.
     PrechargeConflict,
+    /// PRE of a *sibling* μbank whose open row structurally blocks this
+    /// request's ACT under the device variant's issue rules (SALP open-row
+    /// limit, Sectored shared row decoder). Carries the victim's flat
+    /// index — the request's own μbank is closed and untouched.
+    PrechargeVictim(u32),
 }
 
 /// A schedulable (queue entry, action) pair with priority inputs.

@@ -8,30 +8,65 @@
 
 use crate::params::EnergyParams;
 use microbank_core::geometry::UbankConfig;
+use microbank_core::variant::DeviceVariant;
 use serde::{Deserialize, Serialize};
 
 /// Bits in one 64 B cache-line transfer.
 const LINE_BITS: f64 = 512.0;
 
-/// Per-operation DRAM energy model for one (interface, μbank) combination.
+/// Per-operation DRAM energy model for one (interface, μbank, variant)
+/// combination.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EnergyModel {
     pub params: EnergyParams,
     pub ubank: UbankConfig,
+    /// Activation-granularity variant (DESIGN §5h). Conventional, μbank
+    /// and SALP all activate per-μbank rows, so they share the geometric
+    /// formula; only Sectored DRAM's latch accounting differs (sense amps
+    /// span all sectors of the row even when one group activates).
+    #[serde(default)]
+    pub variant: DeviceVariant,
 }
 
 impl EnergyModel {
     pub fn new(params: EnergyParams, ubank: UbankConfig) -> Self {
-        EnergyModel { params, ubank }
+        EnergyModel {
+            params,
+            ubank,
+            variant: DeviceVariant::Microbank,
+        }
+    }
+
+    /// Builder: select the device variant whose activation granularity the
+    /// ACT/PRE accounting should follow.
+    pub fn with_variant(mut self, v: DeviceVariant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Array energy of one ACT+PRE pair, nJ: the 8 KB-page energy scaled
+    /// by the fraction of the page actually activated.
+    pub fn act_pre_array_nj(&self) -> f64 {
+        self.params.act_pre_nj_8kb / self.ubank.n_w as f64
+    }
+
+    /// Latch/sense-amp update energy per activation, nJ. Conventional,
+    /// μbank and SALP pay per row buffer present in the bank; Sectored
+    /// DRAM's row spans `sectors` latch groups regardless of how many are
+    /// activated at once.
+    pub fn act_latch_nj(&self) -> f64 {
+        let latches = match self.variant {
+            DeviceVariant::Sectored { sectors, .. } => sectors,
+            _ => self.ubank.ubanks_per_bank(),
+        };
+        self.params.latch_pj_per_act_per_ubank * latches as f64 / 1000.0
     }
 
     /// Energy of one ACT+PRE pair, nJ: the 8 KB-page energy divided by the
     /// number of wordline partitions, plus latch update energy that grows
     /// with the μbank count (negligible, §IV-B — but modeled).
     pub fn act_pre_nj(&self) -> f64 {
-        let latch_nj =
-            self.params.latch_pj_per_act_per_ubank * self.ubank.ubanks_per_bank() as f64 / 1000.0;
-        self.params.act_pre_nj_8kb / self.ubank.n_w as f64 + latch_nj
+        self.act_pre_array_nj() + self.act_latch_nj()
     }
 
     /// DRAM-side datapath energy of one 64 B read or write, nJ (no I/O).
@@ -152,5 +187,44 @@ mod tests {
         let e = tsi(4, 4);
         let manual = 0.5 * e.act_pre_nj() + e.rdwr_nj() + e.io_nj();
         assert!((e.energy_per_read_nj(0.5) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_variant_matches_legacy_formula() {
+        // The variant seam must not change pre-seam numbers: the default
+        // (Microbank) reproduces the original closed-form expression.
+        let e = tsi(4, 4);
+        let p = e.params;
+        let legacy = p.act_pre_nj_8kb / 4.0 + p.latch_pj_per_act_per_ubank * 16.0 / 1000.0;
+        assert!((e.act_pre_nj() - legacy).abs() < 1e-12);
+        assert!((e.act_pre_nj() - e.act_pre_array_nj() - e.act_latch_nj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sectored_pays_latches_for_the_whole_row() {
+        use microbank_core::variant::DeviceVariant;
+        // 2-of-16 sectored: (nW, nB) = (8, 1) — array energy is 1/8 of the
+        // page like μbank(8,1), but the latch term covers all 16 sectors,
+        // twice the 8 latch groups a μbank(8,1) bank holds.
+        let sect = tsi(8, 1).with_variant(DeviceVariant::Sectored {
+            sectors: 16,
+            sectors_per_act: 2,
+        });
+        let ub = tsi(8, 1);
+        assert!((sect.act_pre_array_nj() - ub.act_pre_array_nj()).abs() < 1e-12);
+        assert!((sect.act_latch_nj() - 2.0 * ub.act_latch_nj()).abs() < 1e-12);
+        assert!(sect.act_pre_nj() > ub.act_pre_nj());
+    }
+
+    #[test]
+    fn salp_and_conventional_share_the_geometric_formula() {
+        use microbank_core::variant::{DeviceVariant, SalpMode};
+        let conv = tsi(1, 1).with_variant(DeviceVariant::Conventional);
+        assert!((conv.act_pre_nj() - tsi(1, 1).act_pre_nj()).abs() < 1e-12);
+        let salp = tsi(1, 8).with_variant(DeviceVariant::Salp {
+            subarrays: 8,
+            mode: SalpMode::Masa,
+        });
+        assert!((salp.act_pre_nj() - tsi(1, 8).act_pre_nj()).abs() < 1e-12);
     }
 }

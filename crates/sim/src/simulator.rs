@@ -559,8 +559,14 @@ impl SimResult {
         );
         // Read-latency distribution: the simulator already aggregates into
         // power-of-two cycle buckets, so feed each bucket's upper bound in
-        // bulk rather than replaying every request.
-        let bounds: Vec<f64> = (0..24).map(|i| (1u64 << i) as f64).collect();
+        // bulk rather than replaying every request. The exposition bounds
+        // mirror the Histogram's full 64-bucket range so tail latencies
+        // never collapse into +Inf and `/metrics` percentiles agree with
+        // `SimResult::read_latency_hist`.
+        use microbank_core::hist::Histogram;
+        let bounds: Vec<f64> = (0..Histogram::NUM_BUCKETS)
+            .map(|i| Histogram::bucket_high(i) as f64)
+            .collect();
         reg.register_histogram(
             "microbank_sim_read_latency_cycles",
             "Main-memory read latency (enqueue to data), CPU cycles",
@@ -865,7 +871,8 @@ fn run_attempt(
     let emodel = EnergyModel::new(
         EnergyParams::for_interface(cfg.mem.interface),
         cfg.mem.ubank,
-    );
+    )
+    .with_variant(cfg.mem.variant);
     let integrator =
         PowerIntegrator::new(emodel, cfg.mem.channels).with_ranks(cfg.mem.ranks_per_channel);
 

@@ -611,6 +611,49 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_distinguishes_device_variants() {
+        use microbank_core::variant::{DeviceVariant, SalpMode};
+        // The variant changes issue rules and energy, so manifests keyed
+        // on the fingerprint must never resume across variants. The field
+        // rides in MemConfig's Debug rendering automatically.
+        let base = SimConfig::paper_default(microbank_workloads::suite::Workload::MixHigh);
+        let fp0 = SweepRunner::config_fingerprint(&base);
+        for v in [
+            DeviceVariant::Conventional,
+            DeviceVariant::Salp {
+                subarrays: 8,
+                mode: SalpMode::Salp1,
+            },
+            DeviceVariant::Salp {
+                subarrays: 8,
+                mode: SalpMode::Masa,
+            },
+            DeviceVariant::Sectored {
+                sectors: 16,
+                sectors_per_act: 2,
+            },
+        ] {
+            let mut cfg = base.clone();
+            cfg.mem = cfg.mem.with_variant(v);
+            assert_ne!(
+                fp0,
+                SweepRunner::config_fingerprint(&cfg),
+                "variant {} must change the fingerprint",
+                v.label()
+            );
+        }
+        // Same variant, same print: resume still works within a variant.
+        let mut a = base.clone();
+        a.mem = a.mem.with_variant(DeviceVariant::Conventional);
+        let mut b = base.clone();
+        b.mem = b.mem.with_variant(DeviceVariant::Conventional);
+        assert_eq!(
+            SweepRunner::config_fingerprint(&a),
+            SweepRunner::config_fingerprint(&b)
+        );
+    }
+
+    #[test]
     fn values_roundtrip_exactly_through_the_manifest() {
         let dir = std::env::temp_dir().join(format!("microbank_sweep_unit_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
