@@ -1,0 +1,140 @@
+//! Chaos test for the `sweepd` daemon (DESIGN.md §5i): kill -9 the
+//! process mid-job, restart it over the same directory, and the durable
+//! queue must resume every admitted job to a manifest byte-identical to
+//! an uninterrupted control run. Certified slots are never re-executed;
+//! the interruption leaves no trace in the durable artifacts.
+
+use microbank_telemetry::status::http_request;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const JOB: &str = r#"{"name":"chaos","slots":[
+    {"id":"s0","workload":"mix-high","quick":true},
+    {"id":"s1","workload":"mix-high","quick":true,"seed":21},
+    {"id":"s2","workload":"mix-high","quick":true,"seed":22}
+]}"#;
+
+/// A running daemon that is SIGKILLed if the test panics before
+/// explicitly stopping it.
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_sweepd(dir: &Path) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sweepd"))
+        .args(["--addr", "127.0.0.1:0", "--dir"])
+        .arg(dir)
+        .args(["--workers", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sweepd");
+    // The daemon prints `sweepd listening: <addr>` once the job API is
+    // bound; everything before that line is start-up noise.
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("sweepd exited before binding")
+            .expect("read sweepd stdout");
+        if let Some(rest) = line.strip_prefix("sweepd listening: ") {
+            break rest.parse().expect("parse bound addr");
+        }
+    };
+    Daemon { child, addr }
+}
+
+fn request(daemon: &Daemon, method: &str, path: &str, body: &str) -> (u16, String) {
+    http_request(&daemon.addr, method, path, body.as_bytes()).expect("request to sweepd")
+}
+
+/// Poll job detail until its state matches; panics on timeout.
+fn wait_for_state(daemon: &Daemon, id: &str, state: &str, within: Duration) -> String {
+    let needle = format!("\"state\":\"{state}\"");
+    let deadline = Instant::now() + within;
+    loop {
+        let (code, body) = request(daemon, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(code, 200, "detail: {body}");
+        if body.contains(&needle) {
+            return body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {id} never reached {state:?}; last detail: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Drain the daemon via `POST /shutdown` and wait for a clean exit.
+fn stop(mut daemon: Daemon) {
+    let _ = request(&daemon, "POST", "/shutdown", "");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if daemon.child.try_wait().expect("try_wait").is_some() {
+            return; // Drop still runs kill(), a no-op on a reaped child.
+        }
+        assert!(Instant::now() < deadline, "sweepd did not exit after drain");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("microbank-sweepd-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn kill_dash_nine_then_restart_resumes_byte_identically() {
+    // Control: the same job, run to completion without interference.
+    let control_dir = test_dir("control");
+    let control = spawn_sweepd(&control_dir);
+    let (code, body) = request(&control, "POST", "/jobs", JOB);
+    assert_eq!(code, 202, "admit: {body}");
+    wait_for_state(&control, "job-1", "done", Duration::from_secs(120));
+    stop(control);
+    let control_manifest =
+        std::fs::read(control_dir.join("job-1.manifest.json")).expect("control manifest");
+
+    // Victim: kill -9 after the first slot certifies, mid-second-slot.
+    let dir = test_dir("victim");
+    let mut victim = spawn_sweepd(&dir);
+    let (code, body) = request(&victim, "POST", "/jobs", JOB);
+    assert_eq!(code, 202, "admit: {body}");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (_, body) = request(&victim, "GET", "/jobs/job-1", "");
+        if body.contains("\"id\":\"s0\",\"state\":\"ok\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "s0 never certified: {body}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    victim.child.kill().expect("SIGKILL");
+    victim.child.wait().expect("reap");
+
+    // Restart over the same directory: the durable queue must bring the
+    // job back and finish only the uncertified slots.
+    let revived = spawn_sweepd(&dir);
+    wait_for_state(&revived, "job-1", "done", Duration::from_secs(120));
+    stop(revived);
+
+    let resumed = std::fs::read(dir.join("job-1.manifest.json")).expect("resumed manifest");
+    assert_eq!(
+        control_manifest, resumed,
+        "manifest after kill -9 + restart must be byte-identical to the control run"
+    );
+}

@@ -33,6 +33,36 @@ pub enum SimError {
     /// An artifact (manifest, CSV/JSON result file) could not be written
     /// or read.
     Artifact { path: String, message: String },
+    /// The run was cooperatively cancelled through its
+    /// [`crate::simulator::CancelToken`] — by an explicit request, a
+    /// wall-clock deadline, or a service shutting down. The partially
+    /// driven simulation state is discarded whole: cancellation can only
+    /// ever shorten a run whose results are then thrown away, never
+    /// change a result that is reported, so it is sound under the
+    /// event-driven time-skip core (DESIGN.md §5i).
+    Cancelled { kind: CancelKind, at_cycle: u64 },
+}
+
+/// Why a cancelled run's token was tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelKind {
+    /// Explicit cancellation (e.g. `DELETE /jobs/{id}`).
+    Requested,
+    /// The job's wall-clock deadline expired.
+    Deadline,
+    /// The executing service is shutting down; the run should be treated
+    /// as never attempted (checkpointed, not failed).
+    Shutdown,
+}
+
+impl CancelKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            CancelKind::Requested => "requested",
+            CancelKind::Deadline => "deadline",
+            CancelKind::Shutdown => "shutdown",
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -49,6 +79,13 @@ impl fmt::Display for SimError {
             SimError::Panic { message } => write!(f, "simulation panicked: {message}"),
             SimError::Artifact { path, message } => {
                 write!(f, "artifact {path}: {message}")
+            }
+            SimError::Cancelled { kind, at_cycle } => {
+                write!(
+                    f,
+                    "run cancelled ({}) at simulated cycle {at_cycle}",
+                    kind.label()
+                )
             }
         }
     }
@@ -112,6 +149,17 @@ impl fmt::Display for ShardDiagnostics {
 /// Public only so the payload type is nameable across modules.
 #[doc(hidden)]
 pub struct ShardStallPanic(pub ShardDiagnostics);
+
+/// Panic payload the sharded coordinator throws when it observes a
+/// tripped [`crate::simulator::CancelToken`]: the scope tears down via
+/// the same abort-flag/unwind/join protocol as the watchdog, and
+/// `drive_sharded` downcasts this back into
+/// [`SimError::Cancelled`]-shaped data.
+#[doc(hidden)]
+pub struct CancelPanic {
+    pub kind: CancelKind,
+    pub at_cycle: u64,
+}
 
 #[cfg(test)]
 mod tests {

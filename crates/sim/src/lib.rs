@@ -16,24 +16,30 @@
 //! * [`sweep`] — crash-safe resumable sweep execution with per-slot
 //!   isolation, an atomic on-disk manifest, and a live status surface
 //!   (`<name>.status.json` + optional HTTP `/status` & `/metrics`).
+//! * [`service`] — sweep-as-a-service: a fault-tolerant job daemon
+//!   (durable write-ahead queue, worker pool with deadlines, backoff,
+//!   cooperative cancellation, graceful drain) behind an HTTP job API
+//!   (DESIGN.md §5i).
 
 pub mod error;
 pub mod experiment;
 pub mod report;
+pub mod service;
 pub mod shard;
 pub mod simulator;
 pub mod sweep;
 
-pub use error::{ShardDiagnostics, SimError};
+pub use error::{CancelKind, ShardDiagnostics, SimError};
 pub use experiment::{
     base_cfg, headline, interface_study, interleave_policy_study, organization_comparison,
     predictor_study, representative_study, ubank_grid, GridResult, InterfaceRow, InterleaveRow,
     PredictorRow, RepresentativeRow, DEGREES, REPRESENTATIVE,
 };
 pub use report::{summarize, summary_columns, Table};
+pub use service::{JobState, ServiceConfig, SweepService};
 pub use simulator::{
-    run, run_many, run_many_checked, try_run, try_run_once, DriveMode, QosReport, SequentialReason,
-    SimConfig, SimResult, TenantMetrics,
+    run, run_many, run_many_checked, try_run, try_run_once, CancelToken, DriveMode, QosReport,
+    SequentialReason, SimConfig, SimResult, TenantMetrics,
 };
 pub use sweep::{SlotRecord, SlotStatus, SweepRunner, SweepSlot};
 

@@ -50,8 +50,10 @@
 //! boundary has arrived, in boundary order, so the timeline is
 //! identical row for row.
 
-use crate::error::{ShardDiagnostics, ShardStallPanic};
-use crate::simulator::{stats_delta, Delivery, DriveOutput, EnqueueSlab, SimConfig};
+use crate::error::{CancelPanic, ShardDiagnostics, ShardStallPanic};
+use crate::simulator::{
+    stats_delta, Delivery, DriveOutput, EnqueueSlab, RunAbort, SimConfig, CANCEL_CHECK_CYCLES,
+};
 use microbank_core::address::AddressMap;
 use microbank_core::request::{MemRequest, ReqKind};
 use microbank_core::stats::DramStats;
@@ -750,7 +752,7 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
     timeline: &mut Option<Timeline>,
     tracer: &mut SpanTracer,
     workers: usize,
-) -> Result<DriveOutput, Box<ShardDiagnostics>> {
+) -> Result<DriveOutput, RunAbort> {
     let channels = ctrls.len();
     let workers = workers.min(channels).max(1);
     let p = Params {
@@ -935,10 +937,28 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
                 }
             };
 
+            // Cooperative cancellation mirrors the sequential loop: poll on
+            // the same coarse cadence and tear the scope down through the
+            // watchdog's abort-flag/unwind/join protocol, so workers exit
+            // their waits and every thread is joined before the payload is
+            // downcast back into a typed error.
+            let cancel = cfg.cancel.as_ref();
+            let mut cancel_check_at: Cycle = 0;
             let mut now: Cycle = 0;
             let mut slot_cycle: Cycle = 0;
             let mut slot_idx: u64 = 0;
             while slot_cycle < p.total {
+                if let Some(token) = cancel {
+                    if slot_cycle >= cancel_check_at {
+                        if let Some(kind) = token.tripped() {
+                            std::panic::panic_any(CancelPanic {
+                                kind,
+                                at_cycle: now,
+                            });
+                        }
+                        cancel_check_at = slot_cycle.saturating_add(CANCEL_CHECK_CYCLES);
+                    }
+                }
                 coord.cur_slot = slot_idx;
                 let phase_end = (slot_cycle + p.stride).min(p.total);
                 // Lazy drain: a completion from slot `k` surfaces as a fill no
@@ -1090,10 +1110,19 @@ pub(crate) fn drive_sharded<S: microbank_cpu::instr::InstrSource>(
     }));
     match outcome {
         Ok(out) => Ok(out),
-        Err(payload) => match payload.downcast::<ShardStallPanic>() {
-            Ok(stall) => Err(Box::new(stall.0)),
-            Err(other) => std::panic::resume_unwind(other),
-        },
+        Err(payload) => {
+            let payload = match payload.downcast::<ShardStallPanic>() {
+                Ok(stall) => return Err(RunAbort::Stall(Box::new(stall.0))),
+                Err(p) => p,
+            };
+            match payload.downcast::<CancelPanic>() {
+                Ok(c) => Err(RunAbort::Cancelled {
+                    kind: c.kind,
+                    at_cycle: c.at_cycle,
+                }),
+                Err(other) => std::panic::resume_unwind(other),
+            }
+        }
     }
 }
 

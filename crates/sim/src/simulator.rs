@@ -1,7 +1,7 @@
 //! The full-system simulator: CMP ⇄ memory controllers ⇄ μbank DRAM,
 //! with energy integration and the metrics every figure reports.
 
-use crate::error::{ShardDiagnostics, SimError};
+use crate::error::{CancelKind, ShardDiagnostics, SimError};
 use microbank_core::config::MemConfig;
 use microbank_core::request::{MemRequest, ReqKind};
 use microbank_core::stats::DramStats;
@@ -92,11 +92,86 @@ pub struct SimConfig {
     /// path). Results are bit-identical either way — skipping only changes
     /// wall-clock time (DESIGN §5f).
     pub time_skip: Option<bool>,
+    /// Cooperative cancellation: when set, both drive loops poll the
+    /// token every [`CANCEL_CHECK_CYCLES`] simulated cycles and abandon
+    /// the run with [`SimError::Cancelled`] once it trips. Sound under
+    /// the event-driven time-skip core: cancellation only ever shortens a
+    /// run whose state is then discarded whole — it can never alter a
+    /// result that is reported (DESIGN.md §5i). `None` (the default)
+    /// keeps the hot path to a single branch, and the field is masked
+    /// out of sweep/service fingerprints like `threads`.
+    pub cancel: Option<CancelToken>,
     /// Test hook: make shard worker 0 stop sealing slots at this stride
     /// slot, simulating a wedged worker so the watchdog path can be
     /// exercised deterministically. Never set outside tests.
     #[doc(hidden)]
     pub test_stall_shard: Option<u64>,
+}
+
+/// How often (simulated cycles) the drive loops poll an armed
+/// [`CancelToken`]. Epoch-boundary scale: coarse enough to stay off the
+/// hot path, fine enough that a cancelled or deadline-expired job stops
+/// within milliseconds of wall time.
+pub const CANCEL_CHECK_CYCLES: Cycle = 16_384;
+
+/// A shared cancellation flag for cooperative run teardown. Cloning
+/// shares the underlying flag (it is an `Arc`), so a service can hand the
+/// same token to every slot of a job and trip them all at once. The first
+/// cause to trip wins: a deadline firing after an explicit cancel must
+/// not relabel the outcome.
+#[derive(Clone, Default)]
+pub struct CancelToken(std::sync::Arc<std::sync::atomic::AtomicU8>);
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trip the token as an explicit cancellation request.
+    pub fn cancel(&self) {
+        self.trip(1);
+    }
+
+    /// Trip the token as a wall-clock deadline expiry.
+    pub fn expire(&self) {
+        self.trip(2);
+    }
+
+    /// Trip the token because the executing service is shutting down
+    /// (the run is checkpointed, not failed).
+    pub fn shutdown(&self) {
+        self.trip(3);
+    }
+
+    fn trip(&self, cause: u8) {
+        use std::sync::atomic::Ordering;
+        let _ = self
+            .0
+            .compare_exchange(0, cause, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// The cause the token tripped with, if any.
+    pub fn tripped(&self) -> Option<CancelKind> {
+        match self.0.load(std::sync::atomic::Ordering::Acquire) {
+            0 => None,
+            1 => Some(CancelKind::Requested),
+            2 => Some(CancelKind::Deadline),
+            _ => Some(CancelKind::Shutdown),
+        }
+    }
+
+    pub fn is_tripped(&self) -> bool {
+        self.tripped().is_some()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.tripped() {
+            None => write!(f, "CancelToken(live)"),
+            Some(k) => write!(f, "CancelToken({})", k.label()),
+        }
+    }
 }
 
 impl SimConfig {
@@ -119,6 +194,7 @@ impl SimConfig {
             watchdog_timeout_ms: 60_000,
             spans: false,
             time_skip: None,
+            cancel: None,
             test_stall_shard: None,
         }
     }
@@ -194,6 +270,13 @@ impl SimConfig {
     /// the `MICROBANK_NO_SKIP` environment variable).
     pub fn with_time_skip(mut self, on: bool) -> Self {
         self.time_skip = Some(on);
+        self
+    }
+
+    /// Arm cooperative cancellation with the given token (see
+    /// [`SimConfig::cancel`]).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -770,7 +853,27 @@ pub fn try_run_once(cfg: &SimConfig) -> Result<SimResult, SimError> {
     cfg.validate()?;
     run_attempt(cfg, None)
         .map(|(result, _)| result)
-        .map_err(SimError::ShardStall)
+        .map_err(RunAbort::into_sim_error)
+}
+
+/// Why one drive attempt was abandoned before completing its window.
+/// Internal to the dispatch/retry logic: `try_run_full` converts stalls
+/// into a sequential retry and cancellations into
+/// [`SimError::Cancelled`].
+pub(crate) enum RunAbort {
+    /// The sharded coordinator's watchdog declared a worker stalled.
+    Stall(Box<ShardDiagnostics>),
+    /// The run's [`CancelToken`] tripped.
+    Cancelled { kind: CancelKind, at_cycle: Cycle },
+}
+
+impl RunAbort {
+    fn into_sim_error(self) -> SimError {
+        match self {
+            RunAbort::Stall(diag) => SimError::ShardStall(diag),
+            RunAbort::Cancelled { kind, at_cycle } => SimError::Cancelled { kind, at_cycle },
+        }
+    }
 }
 
 /// Shared implementation: validation, the sharded attempt, and the
@@ -779,7 +882,8 @@ fn try_run_full(cfg: &SimConfig) -> Result<(SimResult, Option<TelemetryReport>),
     cfg.validate()?;
     match run_attempt(cfg, None) {
         Ok(out) => Ok(out),
-        Err(diag) => {
+        Err(abort @ RunAbort::Cancelled { .. }) => Err(abort.into_sim_error()),
+        Err(RunAbort::Stall(diag)) => {
             event::emit(
                 Level::Warn,
                 "sim::shard",
@@ -792,7 +896,8 @@ fn try_run_full(cfg: &SimConfig) -> Result<(SimResult, Option<TelemetryReport>),
                     ("diag", diag.to_string().into()),
                 ],
             );
-            run_attempt(cfg, Some(SequentialReason::WatchdogRetry)).map_err(SimError::ShardStall)
+            run_attempt(cfg, Some(SequentialReason::WatchdogRetry))
+                .map_err(RunAbort::into_sim_error)
         }
     }
 }
@@ -843,7 +948,7 @@ pub(crate) fn merged_tenant_cols(ctrls: &[MemoryController]) -> [u64; MAX_TENANT
 fn run_attempt(
     cfg: &SimConfig,
     force_sequential: Option<SequentialReason>,
-) -> Result<(SimResult, Option<TelemetryReport>), Box<ShardDiagnostics>> {
+) -> Result<(SimResult, Option<TelemetryReport>), RunAbort> {
     let mut tracer = SpanTracer::new();
     tracer.enter("setup");
     let capacity = cfg.mem.capacity_bytes();
@@ -936,7 +1041,7 @@ fn run_attempt(
                 &integrator,
                 &mut timeline,
                 &mut tracer,
-            ),
+            )?,
             DriveMode::Sequential { reason },
         ),
         None => {
@@ -1158,7 +1263,7 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
     integrator: &PowerIntegrator,
     timeline: &mut Option<Timeline>,
     tracer: &mut SpanTracer,
-) -> DriveOutput {
+) -> Result<DriveOutput, RunAbort> {
     let epoch_cycles = cfg.telemetry.map_or(0, |tc| tc.epoch_cycles);
     // Fine-grained accounting (cfg.spans): wall time inside the
     // controller-tick block vs the rest of the loop. Two clock reads per
@@ -1204,9 +1309,27 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
     let mut ctrl_wake: Vec<Cycle> = vec![0; ctrls.len()];
     let mut ctrl_skipped: Vec<u64> = vec![0; ctrls.len()];
 
+    // Cooperative cancellation: poll the token on a coarse simulated-cycle
+    // cadence (epoch-boundary scale, not per tick). Abandoning the loop
+    // mid-window is sound because the whole partially driven state is
+    // discarded with the error — nothing measured escapes.
+    let cancel = cfg.cancel.as_ref();
+    let mut cancel_check_at: Cycle = 0;
+
     tracer.enter("warmup");
     let mut now: Cycle = 0;
     while now < total {
+        if let Some(token) = cancel {
+            if now >= cancel_check_at {
+                if let Some(kind) = token.tripped() {
+                    return Err(RunAbort::Cancelled {
+                        kind,
+                        at_cycle: now,
+                    });
+                }
+                cancel_check_at = now.saturating_add(CANCEL_CHECK_CYCLES);
+            }
+        }
         if now == cfg.warmup_cycles {
             tracer.exit(); // warmup
             tracer.enter("measure");
@@ -1439,7 +1562,7 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
         c.account_skipped_ticks(n);
     }
 
-    DriveOutput {
+    Ok(DriveOutput {
         ctrls,
         committed_at_warmup,
         per_core_at_warmup,
@@ -1450,7 +1573,7 @@ fn drive_sequential<S: microbank_cpu::instr::InstrSource>(
         read_lat_samples,
         tenant_hists,
         tenant_cols_at_warmup,
-    }
+    })
 }
 
 /// Compact behavior fingerprint for the golden determinism suite:

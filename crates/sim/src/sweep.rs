@@ -178,14 +178,21 @@ impl SweepRunner {
     }
 
     /// FNV-1a over the config's `Debug` rendering, with the fields that
-    /// cannot change results (thread count, span tracing, test hooks)
-    /// normalized out so a resume on a different machine still matches.
-    fn config_fingerprint(cfg: &SimConfig) -> String {
+    /// cannot change results (thread count, span tracing, test hooks,
+    /// cancellation token) normalized out so a resume on a different
+    /// machine still matches. Shared with the sweep service, whose job
+    /// manifests must certify slots with the same identity.
+    pub(crate) fn config_fingerprint(cfg: &SimConfig) -> String {
         let mut c = cfg.clone();
         c.threads = None;
         c.spans = false;
         c.time_skip = None;
         c.test_stall_shard = None;
+        // A token only shortens runs that are then discarded whole; a
+        // certified result is identical with or without one. Masking it
+        // also keeps the hash stable across token identities (the Debug
+        // print shows live/tripped state, not a value).
+        c.cancel = None;
         let rendered = format!("{c:?}");
         let mut h = 0xcbf29ce484222325u64;
         for b in rendered.bytes() {
@@ -505,67 +512,140 @@ impl SweepRunner {
     }
 
     fn write_manifest(&self) -> Result<(), SimError> {
-        let mut w = JsonWriter::new();
-        w.begin_object();
-        w.key("sweep").string(&self.name);
-        w.key("slots").begin_array();
-        for r in &self.records {
-            w.begin_object();
-            w.key("id").string(&r.id);
-            w.key("config_fp").string(&r.config_fp);
-            w.key("status").string(match r.status {
-                SlotStatus::Ok => "ok",
-                SlotStatus::Failed => "failed",
-            });
-            w.key("attempts").uint(u64::from(r.attempts));
-            if let Some(e) = &r.error {
-                w.key("error").string(e);
-            }
-            w.key("values").begin_array();
-            for &v in &r.values {
-                w.num(v);
-            }
-            w.end_array();
-            w.end_object();
-        }
-        w.end_array();
-        w.end_object();
-        write_atomic(&self.manifest_path(), w.finish())
+        write_atomic(
+            &self.manifest_path(),
+            render_manifest(&self.name, &self.records),
+        )
     }
 
+    /// Load the prior manifest. A missing file is a fresh start; a file
+    /// that exists but does not parse as a manifest is *quarantined* —
+    /// renamed to `<name>.manifest.corrupt-<n>.json` with a warning —
+    /// so a truncated write is visible instead of silently re-executing
+    /// the whole sweep as if nothing had ever run.
     fn load_manifest(&self) -> Option<Vec<SlotRecord>> {
-        let text = std::fs::read_to_string(self.manifest_path()).ok()?;
-        let root = json::parse(&text).ok()?;
-        let mut out = Vec::new();
-        for slot in root.get("slots")?.items() {
-            let status = match slot.get("status")?.as_str()? {
-                "ok" => SlotStatus::Ok,
-                _ => SlotStatus::Failed,
-            };
-            out.push(SlotRecord {
-                id: slot.get("id")?.as_str()?.to_string(),
-                config_fp: slot.get("config_fp")?.as_str()?.to_string(),
-                status,
-                attempts: slot.get("attempts")?.as_f64()? as u32,
-                error: slot
-                    .get("error")
-                    .and_then(|e| e.as_str())
-                    .map(|s| s.to_string()),
-                values: slot
-                    .get("values")?
-                    .items()
-                    .iter()
-                    .map(|v| v.as_f64())
-                    .collect::<Option<Vec<f64>>>()?,
-                resumed: false,
-                secs: 0.0,
-            });
+        let path = self.manifest_path();
+        let text = std::fs::read_to_string(&path).ok()?;
+        match parse_manifest(&text) {
+            Some(records) => Some(records),
+            None => {
+                let quarantined = quarantine_manifest(&path);
+                event::emit(
+                    Level::Warn,
+                    "sim::sweep",
+                    "prior manifest is malformed; quarantined, sweep restarts from scratch",
+                    &[
+                        ("sweep", self.name.as_str().into()),
+                        ("path", path.display().to_string().into()),
+                        (
+                            "quarantined_to",
+                            quarantined
+                                .map(|p| p.display().to_string())
+                                .unwrap_or_else(|| "(rename failed)".into())
+                                .into(),
+                        ),
+                    ],
+                );
+                None
+            }
         }
-        Some(out)
     }
 }
 
-fn write_atomic(path: &Path, bytes: impl AsRef<[u8]>) -> Result<(), SimError> {
+/// Free-function form of [`SweepRunner::config_fingerprint`] for the
+/// sweep service, which certifies slots with the same identity.
+pub(crate) fn config_fingerprint(cfg: &SimConfig) -> String {
+    SweepRunner::config_fingerprint(cfg)
+}
+
+/// Render a manifest document for `records` — the format shared by
+/// [`SweepRunner`] and the sweep service's per-job manifests. Byte-stable:
+/// the same records always render identically.
+pub(crate) fn render_manifest(name: &str, records: &[SlotRecord]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("sweep").string(name);
+    w.key("slots").begin_array();
+    for r in records {
+        w.begin_object();
+        w.key("id").string(&r.id);
+        w.key("config_fp").string(&r.config_fp);
+        w.key("status").string(match r.status {
+            SlotStatus::Ok => "ok",
+            SlotStatus::Failed => "failed",
+        });
+        w.key("attempts").uint(u64::from(r.attempts));
+        if let Some(e) = &r.error {
+            w.key("error").string(e);
+        }
+        w.key("values").begin_array();
+        for &v in &r.values {
+            w.num(v);
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Parse a manifest document back into records. `None` when the text is
+/// not a structurally valid manifest.
+pub(crate) fn parse_manifest(text: &str) -> Option<Vec<SlotRecord>> {
+    let root = json::parse(text).ok()?;
+    let mut out = Vec::new();
+    for slot in root.get("slots")?.items() {
+        let status = match slot.get("status")?.as_str()? {
+            "ok" => SlotStatus::Ok,
+            _ => SlotStatus::Failed,
+        };
+        out.push(SlotRecord {
+            id: slot.get("id")?.as_str()?.to_string(),
+            config_fp: slot.get("config_fp")?.as_str()?.to_string(),
+            status,
+            attempts: slot.get("attempts")?.as_f64()? as u32,
+            error: slot
+                .get("error")
+                .and_then(|e| e.as_str())
+                .map(|s| s.to_string()),
+            values: slot
+                .get("values")?
+                .items()
+                .iter()
+                .map(|v| v.as_f64())
+                .collect::<Option<Vec<f64>>>()?,
+            resumed: false,
+            secs: 0.0,
+        });
+    }
+    Some(out)
+}
+
+/// Move a malformed manifest aside to the first free
+/// `<stem>.corrupt-<n>.json` slot next to it. `None` when the rename
+/// failed (the original is then left in place and will be retried — and
+/// re-warned about — on the next start).
+pub(crate) fn quarantine_manifest(path: &Path) -> Option<PathBuf> {
+    let stem = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .map(|n| n.strip_suffix(".json").unwrap_or(n))
+        .unwrap_or("manifest");
+    for n in 1u32..1000 {
+        let candidate = path.with_file_name(format!("{stem}.corrupt-{n}.json"));
+        if candidate.exists() {
+            continue;
+        }
+        if std::fs::rename(path, &candidate).is_ok() {
+            return Some(candidate);
+        }
+        return None;
+    }
+    None
+}
+
+pub(crate) fn write_atomic(path: &Path, bytes: impl AsRef<[u8]>) -> Result<(), SimError> {
     atomic_write(path, bytes).map_err(|e| SimError::Artifact {
         path: path.display().to_string(),
         message: e.to_string(),
@@ -585,7 +665,15 @@ mod tests {
         threaded.test_stall_shard = Some(3);
         threaded.spans = true;
         threaded.time_skip = Some(false);
+        threaded.cancel = Some(crate::simulator::CancelToken::default());
         assert_eq!(fp0, SweepRunner::config_fingerprint(&threaded));
+        // A tripped token must not change the hash either (Debug shows
+        // the trip state; the mask removes it before rendering).
+        let tripped = crate::simulator::CancelToken::default();
+        tripped.cancel();
+        let mut cancelled = base.clone();
+        cancelled.cancel = Some(tripped);
+        assert_eq!(fp0, SweepRunner::config_fingerprint(&cancelled));
         let mut different = base.clone();
         different.seed ^= 1;
         assert_ne!(fp0, SweepRunner::config_fingerprint(&different));
@@ -675,6 +763,29 @@ mod tests {
         let loaded = SweepRunner::new("roundtrip", &dir).prior;
         assert_eq!(loaded.len(), 1);
         assert_eq!(loaded[0].values, values, "bit-exact f64 round-trip");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_manifest_is_quarantined_not_silently_dropped() {
+        let dir =
+            std::env::temp_dir().join(format!("microbank_sweep_corrupt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("crashy.manifest.json");
+        // A truncated write: valid prefix, cut mid-document.
+        std::fs::write(&manifest, r#"{"sweep":"crashy","slots":[{"id":"a","#).unwrap();
+        let r = SweepRunner::new("crashy", &dir);
+        assert!(r.prior.is_empty(), "malformed manifest must not resume");
+        assert!(!manifest.exists(), "original must be moved aside");
+        let quarantined = dir.join("crashy.manifest.corrupt-1.json");
+        assert!(quarantined.exists(), "quarantine file must exist");
+        // A second corrupt manifest lands in the next slot, preserving
+        // the first for inspection.
+        std::fs::write(&manifest, "not json at all").unwrap();
+        let _ = SweepRunner::new("crashy", &dir);
+        assert!(dir.join("crashy.manifest.corrupt-2.json").exists());
+        assert!(quarantined.exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

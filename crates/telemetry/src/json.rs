@@ -52,6 +52,49 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// Render back to JSON text in the same canonical form [`JsonWriter`]
+    /// produces (object keys in `BTreeMap` order, [`number`] formatting,
+    /// no whitespace). parse → render is therefore a *normalizing*
+    /// round-trip: any two texts denoting the same value render
+    /// identically, which is what durable artifacts diffed byte-for-byte
+    /// across process restarts need.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => out.push_str(&number(*n)),
+            JsonValue::String(s) => out.push_str(&escape(s)),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&escape(k));
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// Escape a string into a JSON string literal (with quotes).
@@ -177,6 +220,16 @@ impl JsonWriter {
     pub fn null(&mut self) -> &mut Self {
         self.pre_value();
         self.buf.push_str("null");
+        self
+    }
+
+    /// Append pre-rendered JSON text as the next value. The caller
+    /// guarantees `text` is itself a complete, valid JSON value (e.g.
+    /// [`JsonValue::render`] output) — the writer only handles the
+    /// surrounding commas.
+    pub fn raw(&mut self, text: &str) -> &mut Self {
+        self.pre_value();
+        self.buf.push_str(text);
         self
     }
 
@@ -404,5 +457,18 @@ mod tests {
         let s = "μbank \u{1} ✓";
         let v = parse(&escape(s)).unwrap();
         assert_eq!(v.as_str(), Some(s));
+    }
+
+    #[test]
+    fn render_normalizes_to_writer_form() {
+        // Whitespace, key order, and number spellings all collapse to
+        // the canonical rendering.
+        let messy = "{ \"b\" : 2.0 ,\n \"a\" : [ true, null, \"x\" ] }";
+        let v = parse(messy).unwrap();
+        assert_eq!(v.render(), "{\"a\":[true,null,\"x\"],\"b\":2}");
+        // render ∘ parse is idempotent.
+        let again = parse(&v.render()).unwrap();
+        assert_eq!(again.render(), v.render());
+        assert_eq!(again, v);
     }
 }

@@ -53,7 +53,7 @@ pub use metrics::{MetricKind, MetricsRegistry};
 pub use profile::mcycles_per_sec;
 pub use series::Timeline;
 pub use span::{SpanRow, SpanTracer};
-pub use status::{StatusServer, StatusShared};
+pub use status::{HttpRequest, HttpResponse, StatusServer, StatusShared};
 pub use trace::{CmdKind, CmdRecord, CmdTrace};
 
 /// Knobs for enabling telemetry on a simulation run.

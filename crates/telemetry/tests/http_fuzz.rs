@@ -1,0 +1,150 @@
+//! Hostile-input fuzzing of the status HTTP listener (DESIGN.md §5i).
+//!
+//! One long-lived `StatusServer` receives arbitrary bytes, oversized
+//! headers, and partial (never-completed) requests. The contract under
+//! attack is *answer-or-close within the connection deadline, then keep
+//! serving*: no input may wedge the acceptor, panic a connection
+//! thread, or poison subsequent well-formed requests.
+
+use microbank_telemetry::status::http_get;
+use microbank_telemetry::{MetricsRegistry, StatusServer, StatusShared};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Upper bound on answer-or-close, comfortably above the server's 5 s
+/// connection deadline but far below a test hang.
+const ATTACK_TIMEOUT: Duration = Duration::from_secs(8);
+
+fn start_server() -> StatusServer {
+    let shared = StatusShared::new(Arc::new(MetricsRegistry::new()));
+    shared.set_status_json("{\"fuzz\":true}".to_string());
+    StatusServer::start("127.0.0.1:0", shared).expect("bind loopback")
+}
+
+/// Send `payload`, optionally shutting down the write half (a complete
+/// but possibly garbage request) or leaving it open (a stalled client).
+/// Returns once the server answers or closes the connection.
+fn attack(server: &StatusServer, payload: &[u8], finish_write: bool) {
+    let addr = server.local_addr();
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(ATTACK_TIMEOUT)).unwrap();
+    conn.set_write_timeout(Some(ATTACK_TIMEOUT)).unwrap();
+    // The server may close mid-write on oversized input; a broken pipe
+    // here is the defense working, not a test failure.
+    let _ = conn.write_all(payload);
+    if finish_write {
+        let _ = conn.shutdown(std::net::Shutdown::Write);
+    }
+    // Drain until EOF. The read timeout converts a wedged server into a
+    // test failure; a response or clean close passes.
+    let mut sink = [0u8; 4096];
+    loop {
+        match conn.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(e) => panic!("server neither answered nor closed: {e}"),
+        }
+    }
+}
+
+/// After any attack the server must still answer a well-formed request.
+fn assert_still_serving(server: &StatusServer) {
+    let body = http_get(&server.local_addr(), "/status").expect("server still serving");
+    assert!(body.contains("fuzz"), "unexpected /status body: {body}");
+}
+
+proptest! {
+    // TCP round trips per case make this slower than a pure in-memory
+    // property; a few dozen cases keeps the suite under a few seconds.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn arbitrary_bytes_are_answered_or_closed(
+        payload in prop::collection::vec(any::<u8>(), 1..2048),
+    ) {
+        let server = start_server();
+        attack(&server, &payload, true);
+        assert_still_serving(&server);
+    }
+
+    #[test]
+    fn mangled_request_lines_do_not_wedge(
+        method in prop::collection::vec(65u8..91, 1..12),
+        path in prop::collection::vec(32u8..127, 1..64),
+        trailer in prop::collection::vec(any::<u8>(), 1..256),
+    ) {
+        let server = start_server();
+        let mut payload = method;
+        payload.extend_from_slice(b" /");
+        payload.extend_from_slice(&path);
+        payload.extend_from_slice(b" HTTP/1.1\r\n");
+        payload.extend_from_slice(&trailer);
+        payload.extend_from_slice(b"\r\n\r\n");
+        attack(&server, &payload, true);
+        assert_still_serving(&server);
+    }
+
+}
+
+/// Truncated requests with the write half left open: the client stalls
+/// forever and only the server's connection deadline can reap the
+/// thread. Each stalled connection costs the full deadline, so the
+/// prefixes attack concurrently instead of as sequential proptest cases.
+#[test]
+fn partial_requests_are_reaped_not_leaked() {
+    let server = start_server();
+    let full = b"GET /status HTTP/1.1\r\nHost: x\r\n\r\n";
+    std::thread::scope(|scope| {
+        for prefix_len in [1usize, 4, 12, 21, full.len() - 2] {
+            let server = &server;
+            scope.spawn(move || attack(server, &full[..prefix_len], false));
+        }
+    });
+    assert_still_serving(&server);
+}
+
+#[test]
+fn oversized_header_block_is_rejected_with_431() {
+    let server = start_server();
+    let mut payload = b"GET /status HTTP/1.1\r\n".to_vec();
+    // 16 KiB of headers against the 8 KiB cap.
+    for i in 0..256 {
+        payload.extend_from_slice(format!("X-Filler-{i}: {}\r\n", "y".repeat(48)).as_bytes());
+    }
+    payload.extend_from_slice(b"\r\n");
+
+    let addr = server.local_addr();
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(ATTACK_TIMEOUT)).unwrap();
+    let _ = conn.write_all(&payload);
+    let mut resp = String::new();
+    let _ = conn.take(4096).read_to_string(&mut resp);
+    assert!(
+        resp.starts_with("HTTP/1.1 431") || resp.is_empty(),
+        "expected 431 or close, got: {resp}"
+    );
+    assert_still_serving(&server);
+}
+
+#[test]
+fn oversized_body_is_rejected_with_413() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(ATTACK_TIMEOUT)).unwrap();
+    let head = format!(
+        "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        2 * 1024 * 1024
+    );
+    let _ = conn.write_all(head.as_bytes());
+    let mut resp = String::new();
+    let _ = conn.take(4096).read_to_string(&mut resp);
+    assert!(
+        resp.starts_with("HTTP/1.1 413") || resp.is_empty(),
+        "expected 413 or close, got: {resp}"
+    );
+    assert_still_serving(&server);
+}
